@@ -1,0 +1,129 @@
+//! Latency statistics and table formatting for the benchmark reports.
+
+use std::time::Duration;
+
+/// Summary statistics over a latency sample (all in milliseconds), in the
+/// shape of the paper's Table 1 columns: avg, st.dev, 99%, 99.9%.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Mean.
+    pub avg_ms: f64,
+    /// Standard deviation.
+    pub stdev_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw durations.
+    pub fn from_durations(samples: &[Duration]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        Self::from_ms(&ms)
+    }
+
+    /// Computes stats from millisecond samples.
+    pub fn from_ms(samples: &[f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let n = samples.len() as f64;
+        let avg = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let pct = |p: f64| {
+            let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencyStats {
+            avg_ms: avg,
+            stdev_ms: var.sqrt(),
+            p99_ms: pct(99.0),
+            p999_ms: pct(99.9),
+        }
+    }
+}
+
+/// Renders a simple aligned table to stdout.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Prints the table.
+    pub fn print(&self) {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::from("| ");
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                out.push_str(&format!("{:width$} | ", cell, width = widths[i]));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = LatencyStats::from_ms(&[5.0; 100]);
+        assert!((s.avg_ms - 5.0).abs() < 1e-9);
+        assert!(s.stdev_ms < 1e-9);
+        assert!((s.p99_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_percentiles_ordered() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = LatencyStats::from_ms(&samples);
+        assert!(s.avg_ms > 499.0 && s.avg_ms < 502.0);
+        assert!(s.p99_ms >= 989.0);
+        assert!(s.p999_ms >= s.p99_ms);
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        let s = LatencyStats::from_ms(&[]);
+        assert_eq!(s.avg_ms, 0.0);
+    }
+
+    #[test]
+    fn durations_convert_to_ms() {
+        let s = LatencyStats::from_durations(&[Duration::from_millis(10)]);
+        assert!((s.avg_ms - 10.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,185 @@
+//! The chaincode programming API (paper Sec. 3.2, 4.5).
+//!
+//! A chaincode is application logic written in a general-purpose language —
+//! here, Rust — that runs during the execution phase with **no direct
+//! access to the ledger**: all state access flows through the
+//! [`Stub`]'s `get_state` / `put_state` / `del_state` / range-query calls,
+//! which the peer transaction manager records into the read-write set.
+//! The state a chaincode sees is scoped to its own namespace; access to
+//! another chaincode's state goes through [`Stub::invoke_chaincode`].
+
+use fabric_ledger::TxSimulator;
+use fabric_primitives::ids::{ChannelId, SerializedIdentity, TxId};
+
+use crate::runtime::ChaincodeRegistry;
+use crate::ChaincodeError;
+
+/// A single chaincode invocation request.
+#[derive(Clone, Debug)]
+pub struct Invocation {
+    /// Function to call.
+    pub function: String,
+    /// Raw arguments.
+    pub args: Vec<Vec<u8>>,
+    /// The invoking client's identity.
+    pub creator: SerializedIdentity,
+    /// The creator's MSP (validated by the peer before execution).
+    pub creator_msp: String,
+    /// The creator's certificate role (validated by the peer).
+    pub creator_role: String,
+    /// Transaction id.
+    pub tx_id: TxId,
+    /// Channel the invocation targets.
+    pub channel: ChannelId,
+}
+
+/// The interface handed to a chaincode during simulation.
+///
+/// All reads/writes are recorded in the transaction's rw-set; the chaincode
+/// never touches the ledger directly. Note the Fabric semantics: reads
+/// return *committed* state, never the chaincode's own pending writes.
+pub struct Stub<'a> {
+    pub(crate) namespace: String,
+    pub(crate) simulator: &'a mut TxSimulator,
+    pub(crate) invocation: &'a Invocation,
+    pub(crate) registry: &'a ChaincodeRegistry,
+    /// Call depth for chaincode-to-chaincode invocations.
+    pub(crate) depth: usize,
+}
+
+/// Maximum chaincode-to-chaincode call depth.
+pub const MAX_CALL_DEPTH: usize = 8;
+
+impl<'a> Stub<'a> {
+    /// The invoked function name.
+    pub fn function(&self) -> &str {
+        &self.invocation.function
+    }
+
+    /// The invocation arguments.
+    pub fn args(&self) -> &[Vec<u8>] {
+        &self.invocation.args
+    }
+
+    /// Argument `i` as a UTF-8 string.
+    pub fn arg_string(&self, i: usize) -> Result<String, String> {
+        let raw = self
+            .invocation
+            .args
+            .get(i)
+            .ok_or_else(|| format!("missing argument {i}"))?;
+        String::from_utf8(raw.clone()).map_err(|_| format!("argument {i} is not UTF-8"))
+    }
+
+    /// The transaction id.
+    pub fn tx_id(&self) -> TxId {
+        self.invocation.tx_id
+    }
+
+    /// The invoking client's identity.
+    pub fn creator(&self) -> &SerializedIdentity {
+        &self.invocation.creator
+    }
+
+    /// The creator's MSP id.
+    pub fn creator_msp(&self) -> &str {
+        &self.invocation.creator_msp
+    }
+
+    /// The creator's certificate role.
+    pub fn creator_role(&self) -> &str {
+        &self.invocation.creator_role
+    }
+
+    /// The channel of this invocation.
+    pub fn channel(&self) -> &ChannelId {
+        &self.invocation.channel
+    }
+
+    /// Reads a key from this chaincode's namespace (recorded in the
+    /// readset with its version).
+    pub fn get_state(&mut self, key: &str) -> Result<Option<Vec<u8>>, String> {
+        self.simulator
+            .get_state(&self.namespace, key)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Stages a write to this chaincode's namespace.
+    pub fn put_state(&mut self, key: &str, value: impl Into<Vec<u8>>) {
+        self.simulator.put_state(&self.namespace, key, value);
+    }
+
+    /// Stages a deletion in this chaincode's namespace.
+    pub fn del_state(&mut self, key: &str) {
+        self.simulator.del_state(&self.namespace, key);
+    }
+
+    /// Range query `[start, end)` over this chaincode's namespace (recorded
+    /// with a result hash for phantom detection).
+    pub fn get_state_range(
+        &mut self,
+        start: &str,
+        end: &str,
+    ) -> Result<Vec<(String, Vec<u8>)>, String> {
+        self.simulator
+            .get_state_range(&self.namespace, start, end)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Invokes another chaincode on the same channel; its reads/writes land
+    /// in *its* namespace within this transaction's rw-set.
+    pub fn invoke_chaincode(
+        &mut self,
+        name: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> Result<Vec<u8>, String> {
+        if self.depth + 1 > MAX_CALL_DEPTH {
+            return Err("chaincode call depth exceeded".into());
+        }
+        let target = self
+            .registry
+            .get(name)
+            .ok_or_else(|| format!("chaincode {name} not installed"))?;
+        let inner_invocation = Invocation {
+            function: function.to_string(),
+            args,
+            ..self.invocation.clone()
+        };
+        let mut inner = Stub {
+            namespace: name.to_string(),
+            simulator: self.simulator,
+            invocation: &inner_invocation,
+            registry: self.registry,
+            depth: self.depth + 1,
+        };
+        target.invoke(&mut inner)
+    }
+}
+
+/// A chaincode: deterministic application logic invoked during simulation.
+///
+/// Returning `Ok(payload)` yields a success [`fabric_primitives::ChaincodeResponse`];
+/// `Err(message)` yields an error response (the client will not be able to
+/// assemble a valid transaction from it).
+pub trait Chaincode: Send + Sync {
+    /// Executes one invocation against the stub.
+    fn invoke(&self, stub: &mut Stub<'_>) -> Result<Vec<u8>, String>;
+}
+
+/// Blanket helper so closures can serve as chaincodes in tests.
+impl<F> Chaincode for F
+where
+    F: Fn(&mut Stub<'_>) -> Result<Vec<u8>, String> + Send + Sync,
+{
+    fn invoke(&self, stub: &mut Stub<'_>) -> Result<Vec<u8>, String> {
+        self(stub)
+    }
+}
+
+/// Convenience error conversion for runtime plumbing.
+impl From<fabric_ledger::LedgerError> for ChaincodeError {
+    fn from(e: fabric_ledger::LedgerError) -> Self {
+        ChaincodeError::Ledger(e.to_string())
+    }
+}

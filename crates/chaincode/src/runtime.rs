@@ -1,0 +1,334 @@
+//! The chaincode runtime: registration, isolated execution, and the
+//! deadline-based abort that is Fabric's DoS defence (paper Sec. 3.2).
+//!
+//! In Fabric every user chaincode runs in its own Docker container and
+//! talks to the peer over gRPC; the peer can kill a container that runs
+//! too long. Here each chaincode is a Rust object invoked on a dedicated
+//! worker thread; the architectural property preserved is the *interface*
+//! — all state access flows through the stub, and the endorser can
+//! unilaterally abandon an execution that exceeds its local deadline
+//! without endangering consistency (non-determinism and runaway loops
+//! only ever cost the transaction's own liveness).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+
+use fabric_ledger::{Ledger, TxSimulator};
+use fabric_primitives::rwset::TxReadWriteSet;
+use fabric_primitives::ChaincodeResponse;
+
+use crate::api::{Chaincode, Invocation, Stub};
+use crate::ChaincodeError;
+
+/// The outcome of simulating one invocation.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// The chaincode's response (status + payload).
+    pub response: ChaincodeResponse,
+    /// The recorded read-write set.
+    pub rwset: TxReadWriteSet,
+}
+
+/// Installed chaincodes, by name.
+#[derive(Default)]
+pub struct ChaincodeRegistry {
+    chaincodes: RwLock<HashMap<String, Arc<dyn Chaincode>>>,
+}
+
+impl ChaincodeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a chaincode under `name`.
+    pub fn install(&self, name: impl Into<String>, chaincode: Arc<dyn Chaincode>) {
+        self.chaincodes.write().insert(name.into(), chaincode);
+    }
+
+    /// Looks up an installed chaincode.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Chaincode>> {
+        self.chaincodes.read().get(name).cloned()
+    }
+
+    /// Lists installed chaincode names.
+    pub fn installed(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.chaincodes.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Execution policy for the runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Wall-clock budget per invocation. `None` runs inline without a
+    /// watchdog (fastest; used by benchmarks where chaincodes are trusted).
+    pub exec_timeout: Option<Duration>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            exec_timeout: Some(Duration::from_secs(2)),
+        }
+    }
+}
+
+/// The chaincode execution runtime.
+pub struct ChaincodeRuntime {
+    registry: Arc<ChaincodeRegistry>,
+    config: RuntimeConfig,
+}
+
+impl ChaincodeRuntime {
+    /// Creates a runtime over a registry.
+    pub fn new(registry: Arc<ChaincodeRegistry>, config: RuntimeConfig) -> Self {
+        ChaincodeRuntime { registry, config }
+    }
+
+    /// The registry (for installs).
+    pub fn registry(&self) -> &Arc<ChaincodeRegistry> {
+        &self.registry
+    }
+
+    /// Simulates `invocation` against a fresh snapshot of `ledger`.
+    ///
+    /// A chaincode error becomes an error [`ChaincodeResponse`] (the rw-set
+    /// is discarded); exceeding the deadline or panicking aborts the
+    /// execution with [`ChaincodeError`].
+    pub fn execute(
+        &self,
+        ledger: &Ledger,
+        chaincode: &str,
+        invocation: Invocation,
+    ) -> Result<ExecutionResult, ChaincodeError> {
+        let code = self
+            .registry
+            .get(chaincode)
+            .ok_or_else(|| ChaincodeError::NotInstalled(chaincode.to_string()))?;
+        let simulator = ledger.simulator();
+        match self.config.exec_timeout {
+            None => run_invocation(code, chaincode, simulator, invocation, &self.registry),
+            Some(timeout) => {
+                let registry = self.registry.clone();
+                let ns = chaincode.to_string();
+                let (tx, rx) = channel::bounded(1);
+                // The worker owns everything it needs; if it overruns the
+                // deadline we simply stop waiting — the moral equivalent of
+                // killing the chaincode container.
+                std::thread::Builder::new()
+                    .name(format!("chaincode-{ns}"))
+                    .spawn(move || {
+                        let result =
+                            run_invocation(code, &ns, simulator, invocation, &registry);
+                        let _ = tx.send(result);
+                    })
+                    .map_err(|e| ChaincodeError::Aborted(e.to_string()))?;
+                match rx.recv_timeout(timeout) {
+                    Ok(result) => result,
+                    Err(channel::RecvTimeoutError::Timeout) => Err(ChaincodeError::Timeout),
+                    Err(channel::RecvTimeoutError::Disconnected) => {
+                        Err(ChaincodeError::Aborted("chaincode panicked".into()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_invocation(
+    code: Arc<dyn Chaincode>,
+    namespace: &str,
+    mut simulator: TxSimulator,
+    invocation: Invocation,
+    registry: &ChaincodeRegistry,
+) -> Result<ExecutionResult, ChaincodeError> {
+    let mut stub = Stub {
+        namespace: namespace.to_string(),
+        simulator: &mut simulator,
+        invocation: &invocation,
+        registry,
+        depth: 0,
+    };
+    match code.invoke(&mut stub) {
+        Ok(payload) => Ok(ExecutionResult {
+            response: ChaincodeResponse::ok(payload),
+            rwset: simulator.into_rwset(),
+        }),
+        Err(message) => Ok(ExecutionResult {
+            response: ChaincodeResponse::error(message),
+            rwset: TxReadWriteSet::default(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_primitives::ids::{ChannelId, SerializedIdentity, TxId};
+
+    fn invocation(function: &str, args: Vec<Vec<u8>>) -> Invocation {
+        Invocation {
+            function: function.into(),
+            args,
+            creator: SerializedIdentity::new("Org1MSP", vec![1]),
+            creator_msp: "Org1MSP".into(),
+            creator_role: "client".into(),
+            tx_id: TxId::derive(b"c", &[1; 32]),
+            channel: ChannelId::new("ch"),
+        }
+    }
+
+    fn runtime_with(
+        name: &str,
+        cc: Arc<dyn Chaincode>,
+        timeout: Option<Duration>,
+    ) -> (ChaincodeRuntime, Ledger) {
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install(name, cc);
+        (
+            ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: timeout }),
+            Ledger::in_memory(),
+        )
+    }
+
+    #[test]
+    fn executes_and_records_rwset() {
+        let cc = Arc::new(|stub: &mut Stub<'_>| {
+            stub.put_state("greeting", b"hello".to_vec());
+            let missing = stub.get_state("nothing")?;
+            assert!(missing.is_none());
+            Ok(b"done".to_vec())
+        });
+        let (runtime, ledger) = runtime_with("demo", cc, None);
+        let result = runtime
+            .execute(&ledger, "demo", invocation("go", vec![]))
+            .unwrap();
+        assert!(result.response.is_ok());
+        assert_eq!(result.response.payload, b"done");
+        assert_eq!(result.rwset.write_count(), 1);
+        assert_eq!(result.rwset.read_count(), 1);
+        assert_eq!(result.rwset.ns_rwsets[0].namespace, "demo");
+    }
+
+    #[test]
+    fn chaincode_error_becomes_error_response() {
+        let cc = Arc::new(|_: &mut Stub<'_>| Err::<Vec<u8>, _>("business rule violated".to_string()));
+        let (runtime, ledger) = runtime_with("demo", cc, None);
+        let result = runtime
+            .execute(&ledger, "demo", invocation("go", vec![]))
+            .unwrap();
+        assert!(!result.response.is_ok());
+        assert_eq!(result.response.message, "business rule violated");
+        assert_eq!(result.rwset.write_count(), 0, "failed tx writes nothing");
+    }
+
+    #[test]
+    fn missing_chaincode_rejected() {
+        let registry = Arc::new(ChaincodeRegistry::new());
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let ledger = Ledger::in_memory();
+        assert!(matches!(
+            runtime.execute(&ledger, "ghost", invocation("go", vec![])),
+            Err(ChaincodeError::NotInstalled(_))
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_aborted_by_deadline() {
+        // The paper's DoS scenario: a malicious chaincode loops forever.
+        // The endorser aborts unilaterally; only this tx's liveness suffers.
+        let cc = Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            loop {
+                std::hint::spin_loop();
+            }
+        });
+        let (runtime, ledger) = runtime_with("evil", cc, Some(Duration::from_millis(100)));
+        let started = std::time::Instant::now();
+        let result = runtime.execute(&ledger, "evil", invocation("spin", vec![]));
+        assert!(matches!(result, Err(ChaincodeError::Timeout)));
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn panicking_chaincode_aborted() {
+        let cc = Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            panic!("chaincode bug");
+        });
+        let (runtime, ledger) = runtime_with("buggy", cc, Some(Duration::from_secs(1)));
+        assert!(matches!(
+            runtime.execute(&ledger, "buggy", invocation("go", vec![])),
+            Err(ChaincodeError::Aborted(_))
+        ));
+    }
+
+    #[test]
+    fn cross_chaincode_invocation() {
+        let callee = Arc::new(|stub: &mut Stub<'_>| {
+            stub.put_state("callee-key", b"from-callee".to_vec());
+            Ok(b"callee-result".to_vec())
+        });
+        let caller = Arc::new(|stub: &mut Stub<'_>| {
+            stub.put_state("caller-key", b"from-caller".to_vec());
+            let result = stub.invoke_chaincode("callee", "run", vec![])?;
+            Ok(result)
+        });
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install("caller", caller);
+        registry.install("callee", callee);
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let ledger = Ledger::in_memory();
+        let result = runtime
+            .execute(&ledger, "caller", invocation("go", vec![]))
+            .unwrap();
+        assert_eq!(result.response.payload, b"callee-result");
+        // Writes landed in both namespaces.
+        let namespaces: Vec<&str> = result
+            .rwset
+            .ns_rwsets
+            .iter()
+            .map(|ns| ns.namespace.as_str())
+            .collect();
+        assert!(namespaces.contains(&"caller"));
+        assert!(namespaces.contains(&"callee"));
+    }
+
+    #[test]
+    fn call_depth_limited() {
+        let recursive = Arc::new(|stub: &mut Stub<'_>| {
+            stub.invoke_chaincode("recursive", "go", vec![])
+        });
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install("recursive", recursive);
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let ledger = Ledger::in_memory();
+        let result = runtime
+            .execute(&ledger, "recursive", invocation("go", vec![]))
+            .unwrap();
+        assert!(!result.response.is_ok());
+        assert!(result.response.message.contains("depth"));
+    }
+
+    #[test]
+    fn stub_exposes_invocation_context() {
+        let cc = Arc::new(|stub: &mut Stub<'_>| {
+            assert_eq!(stub.function(), "fn-name");
+            assert_eq!(stub.arg_string(0)?, "arg0");
+            assert!(stub.arg_string(5).is_err());
+            assert_eq!(stub.creator_msp(), "Org1MSP");
+            assert_eq!(stub.creator_role(), "client");
+            assert_eq!(stub.channel().as_str(), "ch");
+            Ok(vec![])
+        });
+        let (runtime, ledger) = runtime_with("ctx", cc, None);
+        let result = runtime
+            .execute(&ledger, "ctx", invocation("fn-name", vec![b"arg0".to_vec()]))
+            .unwrap();
+        assert!(result.response.is_ok(), "{}", result.response.message);
+    }
+}

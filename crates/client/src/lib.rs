@@ -1,0 +1,237 @@
+//! # fabric-client
+//!
+//! The client SDK (paper Sec. 3.2): building signed proposals, collecting
+//! endorsements (and checking that all endorsers produced byte-identical
+//! results), assembling transactions, and driving the full
+//! execute-order-validate round trip against in-process peers and ordering
+//! clusters.
+
+use parking_lot::Mutex;
+
+use fabric_msp::SigningIdentity;
+use fabric_ordering::OrderingCluster;
+use fabric_peer::Peer;
+use fabric_primitives::ids::{ChaincodeId, ChannelId, TxId};
+use fabric_primitives::transaction::{
+    Envelope, EnvelopeContent, Proposal, ProposalPayload, ProposalResponse, SignedProposal,
+    Transaction,
+};
+use fabric_primitives::wire::Wire;
+
+/// Errors surfaced by client operations.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Not enough endorsements could be gathered; carries per-peer errors.
+    EndorsementFailed(Vec<String>),
+    /// Endorsers returned diverging simulation results (paper Sec. 3.2:
+    /// the standard policy requires identical readset/writeset).
+    DivergingResults,
+    /// The ordering service rejected the broadcast.
+    BroadcastRejected(String),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::EndorsementFailed(errors) => {
+                write!(f, "endorsement failed: {}", errors.join("; "))
+            }
+            ClientError::DivergingResults => {
+                write!(f, "endorsers produced diverging simulation results")
+            }
+            ClientError::BroadcastRejected(msg) => write!(f, "broadcast rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A Fabric client bound to one identity and one channel.
+pub struct Client {
+    identity: SigningIdentity,
+    channel: ChannelId,
+    nonce_counter: Mutex<u64>,
+}
+
+impl Client {
+    /// Creates a client.
+    pub fn new(identity: SigningIdentity, channel: ChannelId) -> Self {
+        Client {
+            identity,
+            channel,
+            nonce_counter: Mutex::new(0),
+        }
+    }
+
+    /// The client's identity.
+    pub fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// Produces the next single-use nonce (paper Sec. 3.2: "a nonce to be
+    /// used only once by each client, such as a counter").
+    pub fn next_nonce(&self) -> [u8; 32] {
+        let mut counter = self.nonce_counter.lock();
+        *counter += 1;
+        let mut h = fabric_crypto::sha256::Sha256::new();
+        h.update(&self.identity.serialized().to_wire());
+        h.update(&counter.to_le_bytes());
+        h.finalize()
+    }
+
+    /// Builds and signs a proposal for `chaincode.function(args)`.
+    pub fn create_proposal(
+        &self,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> SignedProposal {
+        self.create_proposal_with_nonce(chaincode, function, args, self.next_nonce())
+    }
+
+    /// Like [`Client::create_proposal`] with an explicit nonce — used when
+    /// the arguments must bind to the transaction id (derived from the
+    /// nonce), as Fabcoin's signed requests do.
+    pub fn create_proposal_with_nonce(
+        &self,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        nonce: [u8; 32],
+    ) -> SignedProposal {
+        let proposal = Proposal {
+            channel: self.channel.clone(),
+            creator: self.identity.serialized(),
+            nonce,
+            payload: ProposalPayload {
+                chaincode: ChaincodeId::new(chaincode, "1.0"),
+                function: function.into(),
+                args,
+            },
+        };
+        let signature = self.identity.sign(&proposal.to_wire()).to_bytes().to_vec();
+        SignedProposal {
+            proposal,
+            signature,
+        }
+    }
+
+    /// Sends the proposal to each endorser and collects their responses.
+    ///
+    /// Fails if any endorser errors, or if the responses are not
+    /// byte-identical (the standard endorsement policy requires identical
+    /// rw-sets; under key contention this is where a client gets stuck,
+    /// exactly as the paper discusses).
+    pub fn collect_endorsements(
+        &self,
+        proposal: &SignedProposal,
+        endorsers: &[&Peer],
+    ) -> Result<Vec<ProposalResponse>, ClientError> {
+        let mut responses = Vec::with_capacity(endorsers.len());
+        let mut errors = Vec::new();
+        for peer in endorsers {
+            match peer.process_proposal(proposal) {
+                Ok(response) => responses.push(response),
+                Err(e) => errors.push(e.to_string()),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(ClientError::EndorsementFailed(errors));
+        }
+        let reference = responses[0].payload.to_wire();
+        if responses.iter().any(|r| r.payload.to_wire() != reference) {
+            return Err(ClientError::DivergingResults);
+        }
+        Ok(responses)
+    }
+
+    /// Assembles a signed transaction envelope from a proposal and its
+    /// endorsements.
+    pub fn assemble_transaction(
+        &self,
+        proposal: &SignedProposal,
+        responses: &[ProposalResponse],
+    ) -> Envelope {
+        let tx = Transaction {
+            channel: proposal.proposal.channel.clone(),
+            creator: proposal.proposal.creator.clone(),
+            nonce: proposal.proposal.nonce,
+            proposal_payload: proposal.proposal.payload.clone(),
+            response_payload: responses[0].payload.clone(),
+            endorsements: responses.iter().map(|r| r.endorsement.clone()).collect(),
+        };
+        let content = EnvelopeContent::Transaction(tx);
+        let signature = self
+            .identity
+            .sign(&Envelope::signing_bytes(&content))
+            .to_bytes()
+            .to_vec();
+        Envelope { content, signature }
+    }
+
+    /// Full invocation round trip: endorse at `endorsers`, assemble, and
+    /// broadcast to the ordering cluster. Returns the transaction id
+    /// (commitment happens when peers receive the cut block).
+    pub fn invoke(
+        &self,
+        endorsers: &[&Peer],
+        ordering: &mut OrderingCluster,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> Result<TxId, ClientError> {
+        let proposal = self.create_proposal(chaincode, function, args);
+        let responses = self.collect_endorsements(&proposal, endorsers)?;
+        let tx_id = proposal.proposal.tx_id();
+        let envelope = self.assemble_transaction(&proposal, &responses);
+        ordering
+            .broadcast(envelope)
+            .map_err(|e| ClientError::BroadcastRejected(e.to_string()))?;
+        Ok(tx_id)
+    }
+
+    /// Read-only query: simulate at one peer and return the chaincode's
+    /// response payload without submitting anything for ordering.
+    pub fn query(
+        &self,
+        peer: &Peer,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let proposal = self.create_proposal(chaincode, function, args);
+        let responses = self.collect_endorsements(&proposal, &[peer])?;
+        Ok(responses[0].payload.response.payload.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonces_are_unique() {
+        let ca = fabric_msp::CertificateAuthority::new("ca", "OrgMSP", b"s");
+        let identity = fabric_msp::issue_identity(&ca, "c", fabric_msp::Role::Client, b"k");
+        let client = Client::new(identity, ChannelId::new("ch"));
+        let n1 = client.next_nonce();
+        let n2 = client.next_nonce();
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn proposal_signature_valid() {
+        let ca = fabric_msp::CertificateAuthority::new("ca", "OrgMSP", b"s");
+        let identity = fabric_msp::issue_identity(&ca, "c", fabric_msp::Role::Client, b"k");
+        let client = Client::new(identity.clone(), ChannelId::new("ch"));
+        let sp = client.create_proposal("cc", "f", vec![b"a".to_vec()]);
+        let mut msp = fabric_msp::MspRegistry::new();
+        msp.add(fabric_msp::Msp::new("OrgMSP", ca.root_cert().clone()).unwrap());
+        msp.validate_and_verify(
+            &sp.proposal.creator,
+            &sp.proposal.to_wire(),
+            &sp.signature,
+        )
+        .unwrap();
+    }
+}

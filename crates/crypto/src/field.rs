@@ -1,0 +1,282 @@
+//! Generic modular arithmetic over 256-bit odd moduli using Montgomery
+//! multiplication.
+//!
+//! A [`Modulus`] precomputes the Montgomery constants for a fixed odd prime
+//! (or any odd modulus) and then offers multiplication, squaring,
+//! exponentiation, and Fermat inversion on values kept in *Montgomery form*
+//! (`aR mod m` with `R = 2^256`). The P-256 field and scalar arithmetic in
+//! [`crate::p256`] are thin wrappers over two `Modulus` instances.
+//!
+//! The implementation uses the CIOS (coarsely integrated operand scanning)
+//! algorithm with 64-bit limbs and 128-bit intermediates. It is not
+//! constant-time; see the crate-level security note.
+
+use crate::u256::U256;
+
+/// A fixed odd 256-bit modulus with precomputed Montgomery constants.
+#[derive(Clone, Debug)]
+pub struct Modulus {
+    /// The modulus `m` itself.
+    pub m: U256,
+    /// `-m^{-1} mod 2^64`, the Montgomery reduction constant.
+    n0: u64,
+    /// `R mod m` where `R = 2^256` (the Montgomery form of 1).
+    r1: U256,
+    /// `R^2 mod m`, used to convert into Montgomery form.
+    r2: U256,
+}
+
+impl Modulus {
+    /// Creates a modulus context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or zero, since Montgomery reduction requires an
+    /// odd modulus.
+    pub fn new(m: U256) -> Self {
+        assert!(m.is_odd(), "Montgomery modulus must be odd");
+        let n0 = Self::neg_inv_u64(m.0[0]);
+        // R mod m for R = 2^256, via 256 modular doublings of 1. This costs
+        // a few hundred adds once per modulus and works for any m, including
+        // small ones where repeated subtraction would be intractable.
+        let mut r1 = U256::ONE.reduce_once(&m);
+        for _ in 0..256 {
+            r1 = r1.add_mod(&r1, &m);
+        }
+        // R^2 mod m by 256 modular doublings of R mod m.
+        let mut r2 = r1;
+        for _ in 0..256 {
+            r2 = r2.add_mod(&r2, &m);
+        }
+        Modulus { m, n0, r1, r2 }
+    }
+
+    /// Computes `-a^{-1} mod 2^64` for odd `a` by Newton iteration.
+    fn neg_inv_u64(a: u64) -> u64 {
+        debug_assert!(a & 1 == 1);
+        let mut x: u64 = 1;
+        // Five iterations double the number of correct low bits: 1 -> 64.
+        for _ in 0..6 {
+            x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+        }
+        x.wrapping_neg()
+    }
+
+    /// Returns the Montgomery form of 1 (`R mod m`).
+    pub fn one(&self) -> U256 {
+        self.r1
+    }
+
+    /// Converts a reduced integer into Montgomery form.
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mul(a, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to a plain integer.
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        self.mul(a, &U256::ONE)
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod m`.
+    ///
+    /// Both inputs must be less than `m` (in Montgomery form when used via
+    /// [`Self::to_mont`]).
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        // CIOS with 4 limbs; t holds 4 limbs plus two carry slots.
+        let mut t = [0u64; 6];
+        for i in 0..4 {
+            // t += a * b[i]
+            let bi = b.0[i] as u128;
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc = t[j] as u128 + a.0[j] as u128 * bi + carry;
+                t[j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[4] as u128 + carry;
+            t[4] = acc as u64;
+            t[5] = (acc >> 64) as u64;
+
+            // Reduce: add mm * m where mm makes the low limb vanish.
+            let mm = (t[0].wrapping_mul(self.n0)) as u128;
+            let acc = t[0] as u128 + mm * self.m.0[0] as u128;
+            let mut carry = acc >> 64;
+            for j in 1..4 {
+                let acc = t[j] as u128 + mm * self.m.0[j] as u128 + carry;
+                t[j - 1] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[4] as u128 + carry;
+            t[3] = acc as u64;
+            t[4] = t[5].wrapping_add((acc >> 64) as u64);
+            t[5] = 0;
+        }
+        let mut r = U256([t[0], t[1], t[2], t[3]]);
+        if t[4] != 0 || r >= self.m {
+            r = r.sbb(&self.m).0;
+        }
+        r
+    }
+
+    /// Montgomery squaring (delegates to [`Self::mul`]).
+    pub fn sqr(&self, a: &U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// Modular addition of two reduced values.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        a.add_mod(b, &self.m)
+    }
+
+    /// Modular subtraction of two reduced values.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        a.sub_mod(b, &self.m)
+    }
+
+    /// Modular negation of a reduced value.
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.m.sbb(a).0
+        }
+    }
+
+    /// Modular exponentiation of a Montgomery-form base by a plain exponent.
+    ///
+    /// Returns the result in Montgomery form.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        let mut acc = self.one();
+        let bits = exp.bits();
+        for i in (0..bits).rev() {
+            acc = self.sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Modular inverse of a Montgomery-form value via Fermat's little
+    /// theorem (`a^{m-2}`); requires `m` prime and `a` nonzero.
+    ///
+    /// Returns the inverse in Montgomery form.
+    pub fn inv(&self, a: &U256) -> U256 {
+        let exp = self.m.sbb(&U256::from_u64(2)).0;
+        self.pow(a, &exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_prime() -> Modulus {
+        // 2^61 - 1 is prime (a Mersenne prime) and fits in one limb.
+        Modulus::new(U256::from_u64((1u64 << 61) - 1))
+    }
+
+    fn p256_prime() -> Modulus {
+        Modulus::new(
+            U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn mont_round_trip_small() {
+        let m = small_prime();
+        for v in [0u64, 1, 2, 12345, (1 << 61) - 2] {
+            let x = U256::from_u64(v);
+            assert_eq!(m.from_mont(&m.to_mont(&x)), x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mont_round_trip_p256() {
+        let m = p256_prime();
+        let x = U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+            .unwrap();
+        assert_eq!(m.from_mont(&m.to_mont(&x)), x);
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        let m = small_prime();
+        let p = (1u64 << 61) - 1;
+        for (a, b) in [(3u64, 5u64), (p - 1, p - 1), (123456789, 987654321)] {
+            let am = m.to_mont(&U256::from_u64(a));
+            let bm = m.to_mont(&U256::from_u64(b));
+            let prod = m.from_mont(&m.mul(&am, &bm));
+            let expected = ((a as u128 * b as u128) % p as u128) as u64;
+            assert_eq!(prod, U256::from_u64(expected), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let m = p256_prime();
+        let x = m.to_mont(&U256::from_u64(42));
+        assert_eq!(m.mul(&x, &m.one()), x);
+    }
+
+    #[test]
+    fn inverse_small() {
+        let m = small_prime();
+        let a = m.to_mont(&U256::from_u64(7));
+        let inv = m.inv(&a);
+        assert_eq!(m.from_mont(&m.mul(&a, &inv)), U256::ONE);
+    }
+
+    #[test]
+    fn inverse_p256() {
+        let m = p256_prime();
+        let a = m.to_mont(
+            &U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+                .unwrap(),
+        );
+        let inv = m.inv(&a);
+        assert_eq!(m.from_mont(&m.mul(&a, &inv)), U256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let m = small_prime();
+        let a = m.to_mont(&U256::from_u64(3));
+        let cube = m.pow(&a, &U256::from_u64(3));
+        let manual = m.mul(&m.mul(&a, &a), &a);
+        assert_eq!(cube, manual);
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let m = p256_prime();
+        let a = m.to_mont(&U256::from_u64(99));
+        assert_eq!(m.pow(&a, &U256::ZERO), m.one());
+    }
+
+    #[test]
+    fn negation() {
+        let m = small_prime();
+        let a = U256::from_u64(10);
+        let na = m.neg(&a);
+        assert_eq!(m.add(&a, &na), U256::ZERO);
+        assert_eq!(m.neg(&U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        Modulus::new(U256::from_u64(100));
+    }
+
+    #[test]
+    fn fermat_little_theorem_p256() {
+        // a^(p-1) == 1 for the P-256 prime: a strong self-check of the whole
+        // Montgomery pipeline on a full-width modulus.
+        let m = p256_prime();
+        let a = m.to_mont(&U256::from_u64(0xdeadbeef));
+        let exp = m.m.sbb(&U256::ONE).0;
+        assert_eq!(m.pow(&a, &exp), m.one());
+    }
+}

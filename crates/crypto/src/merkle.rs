@@ -1,0 +1,199 @@
+//! Binary Merkle trees over SHA-256.
+//!
+//! Blocks commit to their transaction set via a Merkle root; peers can serve
+//! membership proofs for audit tooling. Leaves are hashed with a `0x00`
+//! domain-separation prefix and interior nodes with `0x01`, preventing
+//! second-preimage attacks that splice interior nodes in as leaves. An odd
+//! node at any level is promoted (not duplicated), so a proof is never valid
+//! for a transaction count it was not built for.
+
+use crate::sha256::{Digest, Sha256};
+
+/// Hashes a leaf value with the leaf domain prefix.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes two child digests with the interior-node domain prefix.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// Computes the Merkle root of a list of leaf payloads.
+///
+/// The root of an empty list is defined as `SHA-256(0x02)`, a distinguished
+/// constant that cannot collide with any leaf or node hash.
+pub fn root(leaves: &[impl AsRef<[u8]>]) -> Digest {
+    if leaves.is_empty() {
+        let mut h = Sha256::new();
+        h.update(&[0x02]);
+        return h.finalize();
+    }
+    let mut level: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(node_hash(&pair[0], &pair[1]));
+            } else {
+                // Odd node is promoted unchanged.
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// One step of a Merkle membership proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling digest combined at this level.
+    pub sibling: Digest,
+    /// `true` if the sibling is on the left (`node_hash(sibling, acc)`).
+    pub sibling_on_left: bool,
+}
+
+/// A Merkle membership proof for a single leaf.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// Bottom-up sequence of siblings.
+    pub steps: Vec<ProofStep>,
+}
+
+/// Builds a membership proof for `leaves[index]`.
+///
+/// Returns `None` if `index` is out of range.
+pub fn prove(leaves: &[impl AsRef<[u8]>], index: usize) -> Option<Proof> {
+    if index >= leaves.len() {
+        return None;
+    }
+    let mut level: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+    let mut idx = index;
+    let mut steps = Vec::new();
+    while level.len() > 1 {
+        let sibling_idx = idx ^ 1;
+        if sibling_idx < level.len() {
+            steps.push(ProofStep {
+                sibling: level[sibling_idx],
+                sibling_on_left: sibling_idx < idx,
+            });
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(node_hash(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        idx /= 2;
+        level = next;
+    }
+    Some(Proof { steps })
+}
+
+/// Verifies that `leaf_data` is a member of the tree with the given `root`.
+pub fn verify(root_digest: &Digest, leaf_data: &[u8], proof: &Proof) -> bool {
+    let mut acc = leaf_hash(leaf_data);
+    for step in &proof.steps {
+        acc = if step.sibling_on_left {
+            node_hash(&step.sibling, &acc)
+        } else {
+            node_hash(&acc, &step.sibling)
+        };
+    }
+    acc == *root_digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_root_is_stable() {
+        let l: Vec<Vec<u8>> = Vec::new();
+        assert_eq!(root(&l), root(&l));
+        assert_ne!(root(&l), root(&leaves(1)));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let l = leaves(1);
+        assert_eq!(root(&l), leaf_hash(&l[0]));
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let mut l = leaves(5);
+        let r1 = root(&l);
+        l[3] = b"tampered".to_vec();
+        assert_ne!(root(&l), r1);
+    }
+
+    #[test]
+    fn root_depends_on_order() {
+        let l = leaves(4);
+        let mut swapped = l.clone();
+        swapped.swap(0, 1);
+        assert_ne!(root(&l), root(&swapped));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let l = leaves(n);
+            let r = root(&l);
+            for i in 0..n {
+                let p = prove(&l, i).unwrap();
+                assert!(verify(&r, &l[i], &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let l = leaves(8);
+        let r = root(&l);
+        let p = prove(&l, 3).unwrap();
+        assert!(!verify(&r, &l[4], &p));
+        assert!(!verify(&r, b"not-a-tx", &p));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let l = leaves(8);
+        let p = prove(&l, 0).unwrap();
+        let other_root = root(&leaves(9));
+        assert!(!verify(&other_root, &l[0], &p));
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        assert!(prove(&leaves(3), 3).is_none());
+        assert!(prove(&leaves(0), 0).is_none());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_differ() {
+        // A leaf whose bytes equal an interior-node preimage must not
+        // produce the interior hash.
+        let a = leaf_hash(b"a");
+        let b = leaf_hash(b"b");
+        let mut spliced = vec![0x01u8];
+        spliced.extend_from_slice(&a);
+        spliced.extend_from_slice(&b);
+        assert_ne!(leaf_hash(&spliced), node_hash(&a, &b));
+    }
+}

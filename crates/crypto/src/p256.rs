@@ -1,0 +1,462 @@
+//! The NIST P-256 (secp256r1) elliptic curve group.
+//!
+//! The curve is `y^2 = x^3 - 3x + b` over the prime field `F_p`. Points are
+//! represented internally in Jacobian projective coordinates with
+//! Montgomery-form field elements; `Z = 0` encodes the point at infinity.
+//!
+//! The group law uses the classical Jacobian addition and the `a = -3`
+//! doubling formulas. Scalar multiplication is plain double-and-add and is
+//! **not constant time** — see the crate-level security note.
+
+use std::sync::OnceLock;
+
+use crate::field::Modulus;
+use crate::u256::U256;
+
+/// Hex encoding of the field prime `p = 2^256 - 2^224 + 2^192 + 2^96 - 1`.
+pub const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+/// Hex encoding of the group order `n`.
+pub const N_HEX: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+/// Hex encoding of the curve coefficient `b`.
+pub const B_HEX: &str = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+/// Hex encoding of the base point x-coordinate.
+pub const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+/// Hex encoding of the base point y-coordinate.
+pub const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+/// Returns the shared field modulus context (`mod p`).
+pub fn fp() -> &'static Modulus {
+    static FP: OnceLock<Modulus> = OnceLock::new();
+    FP.get_or_init(|| Modulus::new(U256::from_hex(P_HEX).expect("valid p")))
+}
+
+/// Returns the shared scalar modulus context (`mod n`, the group order).
+pub fn fq() -> &'static Modulus {
+    static FQ: OnceLock<Modulus> = OnceLock::new();
+    FQ.get_or_init(|| Modulus::new(U256::from_hex(N_HEX).expect("valid n")))
+}
+
+/// Returns the group order `n` as a plain integer.
+pub fn order() -> U256 {
+    fq().m
+}
+
+/// A point on P-256 in Jacobian coordinates with Montgomery-form components.
+///
+/// Invariant: either `z == 0` (infinity) or the de-projectivized affine point
+/// satisfies the curve equation.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl Point {
+    /// The point at infinity (the group identity).
+    pub fn infinity() -> Point {
+        Point {
+            x: fp().one(),
+            y: fp().one(),
+            z: U256::ZERO,
+        }
+    }
+
+    /// The generator (base point) `G`.
+    pub fn generator() -> Point {
+        static G: OnceLock<Point> = OnceLock::new();
+        *G.get_or_init(|| {
+            Point::from_affine(
+                U256::from_hex(GX_HEX).expect("valid gx"),
+                U256::from_hex(GY_HEX).expect("valid gy"),
+            )
+            .expect("generator is on the curve")
+        })
+    }
+
+    /// Constructs a point from plain (non-Montgomery) affine coordinates.
+    ///
+    /// Returns `None` if `(x, y)` does not satisfy the curve equation or the
+    /// coordinates are not reduced modulo `p`.
+    pub fn from_affine(x: U256, y: U256) -> Option<Point> {
+        let f = fp();
+        if x >= f.m || y >= f.m {
+            return None;
+        }
+        let xm = f.to_mont(&x);
+        let ym = f.to_mont(&y);
+        if !Self::on_curve_mont(&xm, &ym) {
+            return None;
+        }
+        Some(Point {
+            x: xm,
+            y: ym,
+            z: f.one(),
+        })
+    }
+
+    /// Checks the curve equation for Montgomery-form affine coordinates.
+    fn on_curve_mont(xm: &U256, ym: &U256) -> bool {
+        let f = fp();
+        let b = f.to_mont(&U256::from_hex(B_HEX).expect("valid b"));
+        // y^2 == x^3 - 3x + b.
+        let y2 = f.sqr(ym);
+        let x3 = f.mul(&f.sqr(xm), xm);
+        let three_x = f.add(&f.add(xm, xm), xm);
+        let rhs = f.add(&f.sub(&x3, &three_x), &b);
+        y2 == rhs
+    }
+
+    /// Returns `true` if this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to plain (non-Montgomery) affine coordinates.
+    ///
+    /// Returns `None` for the point at infinity.
+    pub fn to_affine(&self) -> Option<(U256, U256)> {
+        if self.is_infinity() {
+            return None;
+        }
+        let f = fp();
+        let zinv = f.inv(&self.z);
+        let zinv2 = f.sqr(&zinv);
+        let zinv3 = f.mul(&zinv2, &zinv);
+        let x = f.mul(&self.x, &zinv2);
+        let y = f.mul(&self.y, &zinv3);
+        Some((f.from_mont(&x), f.from_mont(&y)))
+    }
+
+    /// Point doubling using the `a = -3` Jacobian formulas.
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::infinity();
+        }
+        let f = fp();
+        let delta = f.sqr(&self.z);
+        let gamma = f.sqr(&self.y);
+        let beta = f.mul(&self.x, &gamma);
+        // alpha = 3 * (x - delta) * (x + delta)  (uses a = -3).
+        let t1 = f.sub(&self.x, &delta);
+        let t2 = f.add(&self.x, &delta);
+        let t3 = f.mul(&t1, &t2);
+        let alpha = f.add(&f.add(&t3, &t3), &t3);
+        // x3 = alpha^2 - 8*beta.
+        let beta2 = f.add(&beta, &beta);
+        let beta4 = f.add(&beta2, &beta2);
+        let beta8 = f.add(&beta4, &beta4);
+        let x3 = f.sub(&f.sqr(&alpha), &beta8);
+        // z3 = (y + z)^2 - gamma - delta.
+        let yz = f.add(&self.y, &self.z);
+        let z3 = f.sub(&f.sub(&f.sqr(&yz), &gamma), &delta);
+        // y3 = alpha * (4*beta - x3) - 8*gamma^2.
+        let g2 = f.sqr(&gamma);
+        let g2_2 = f.add(&g2, &g2);
+        let g2_4 = f.add(&g2_2, &g2_2);
+        let g2_8 = f.add(&g2_4, &g2_4);
+        let y3 = f.sub(&f.mul(&alpha, &f.sub(&beta4, &x3)), &g2_8);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let f = fp();
+        let z1z1 = f.sqr(&self.z);
+        let z2z2 = f.sqr(&other.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s1 = f.mul(&f.mul(&self.y, &other.z), &z2z2);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        if u1 == u2 {
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Point::infinity()
+            };
+        }
+        let h = f.sub(&u2, &u1);
+        let r = f.sub(&s2, &s1);
+        let hh = f.sqr(&h);
+        let hhh = f.mul(&h, &hh);
+        let v = f.mul(&u1, &hh);
+        // x3 = r^2 - hhh - 2v.
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.add(&v, &v));
+        // y3 = r*(v - x3) - s1*hhh.
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&s1, &hhh));
+        // z3 = z1*z2*h.
+        let z3 = f.mul(&f.mul(&self.z, &other.z), &h);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Point {
+        Point {
+            x: self.x,
+            y: fp().neg(&self.y),
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication `k * self` by plain double-and-add.
+    pub fn mul(&self, k: &U256) -> Point {
+        let mut acc = Point::infinity();
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Simultaneous double-scalar multiplication `a*self + b*other`
+    /// (Shamir's trick), the hot operation in ECDSA verification.
+    pub fn double_scalar_mul(&self, a: &U256, other: &Point, b: &U256) -> Point {
+        let sum = self.add(other);
+        let bits = a.bits().max(b.bits());
+        let mut acc = Point::infinity();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            match (a.bit(i), b.bit(i)) {
+                (true, true) => acc = acc.add(&sum),
+                (true, false) => acc = acc.add(self),
+                (false, true) => acc = acc.add(other),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Equality as group elements (compares affine forms).
+    pub fn eq_point(&self, other: &Point) -> bool {
+        match (self.to_affine(), other.to_affine()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Serializes the point in uncompressed SEC1 form (`0x04 || X || Y`).
+    ///
+    /// Returns `None` for the point at infinity.
+    pub fn to_uncompressed(&self) -> Option<[u8; 65]> {
+        let (x, y) = self.to_affine()?;
+        let mut out = [0u8; 65];
+        out[0] = 0x04;
+        out[1..33].copy_from_slice(&x.to_be_bytes());
+        out[33..65].copy_from_slice(&y.to_be_bytes());
+        Some(out)
+    }
+
+    /// Serializes the point in compressed SEC1 form (`0x02/0x03 || X`).
+    ///
+    /// Returns `None` for the point at infinity.
+    pub fn to_compressed(&self) -> Option<[u8; 33]> {
+        let (x, y) = self.to_affine()?;
+        let mut out = [0u8; 33];
+        out[0] = if y.is_odd() { 0x03 } else { 0x02 };
+        out[1..33].copy_from_slice(&x.to_be_bytes());
+        Some(out)
+    }
+
+    /// Parses a SEC1-encoded point (compressed or uncompressed).
+    ///
+    /// Returns `None` for malformed encodings or points off the curve.
+    pub fn from_sec1(bytes: &[u8]) -> Option<Point> {
+        match bytes.first()? {
+            0x04 if bytes.len() == 65 => {
+                let mut xb = [0u8; 32];
+                let mut yb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..33]);
+                yb.copy_from_slice(&bytes[33..65]);
+                Point::from_affine(U256::from_be_bytes(&xb), U256::from_be_bytes(&yb))
+            }
+            tag @ (0x02 | 0x03) if bytes.len() == 33 => {
+                let mut xb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..33]);
+                let x = U256::from_be_bytes(&xb);
+                let f = fp();
+                if x >= f.m {
+                    return None;
+                }
+                // y^2 = x^3 - 3x + b; p == 3 (mod 4) so sqrt = rhs^((p+1)/4).
+                let xm = f.to_mont(&x);
+                let b = f.to_mont(&U256::from_hex(B_HEX).expect("valid b"));
+                let x3 = f.mul(&f.sqr(&xm), &xm);
+                let three_x = f.add(&f.add(&xm, &xm), &xm);
+                let rhs = f.add(&f.sub(&x3, &three_x), &b);
+                let exp = f.m.adc(&U256::ONE).0.shr1().shr1(); // (p+1)/4
+                let ym = f.pow(&rhs, &exp);
+                if f.sqr(&ym) != rhs {
+                    return None; // rhs is not a quadratic residue
+                }
+                let y = f.from_mont(&ym);
+                let y = if y.is_odd() == (*tag == 0x03) {
+                    y
+                } else {
+                    f.m.sbb(&y).0
+                };
+                Point::from_affine(x, y)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_on_curve() {
+        // from_affine validates the curve equation.
+        assert!(!Point::generator().is_infinity());
+    }
+
+    #[test]
+    fn generator_times_order_is_infinity() {
+        let n = order();
+        assert!(Point::generator().mul(&n).is_infinity());
+    }
+
+    #[test]
+    fn generator_times_order_minus_one_is_neg_g() {
+        let n_minus_1 = order().sbb(&U256::ONE).0;
+        let p = Point::generator().mul(&n_minus_1);
+        assert!(p.eq_point(&Point::generator().neg()));
+        assert!(p.add(&Point::generator()).is_infinity());
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let g = Point::generator();
+        // add() detects the doubling case.
+        assert!(g.double().eq_point(&g.add(&g)));
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let g = Point::generator();
+        let two_g = g.double();
+        let three_g = two_g.add(&g);
+        assert!(g.mul(&U256::from_u64(1)).eq_point(&g));
+        assert!(g.mul(&U256::from_u64(2)).eq_point(&two_g));
+        assert!(g.mul(&U256::from_u64(3)).eq_point(&three_g));
+        assert!(g.mul(&U256::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn known_2g_coordinates() {
+        // 2G for P-256 (public test vector).
+        let (x, y) = Point::generator().double().to_affine().unwrap();
+        assert_eq!(
+            x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"
+        );
+        assert_eq!(
+            y.to_hex(),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
+        );
+    }
+
+    #[test]
+    fn addition_commutes() {
+        let g = Point::generator();
+        let a = g.mul(&U256::from_u64(5));
+        let b = g.mul(&U256::from_u64(11));
+        assert!(a.add(&b).eq_point(&b.add(&a)));
+    }
+
+    #[test]
+    fn addition_associates() {
+        let g = Point::generator();
+        let a = g.mul(&U256::from_u64(7));
+        let b = g.mul(&U256::from_u64(13));
+        let c = g.mul(&U256::from_u64(29));
+        assert!(a.add(&b).add(&c).eq_point(&a.add(&b.add(&c))));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = Point::generator();
+        // (5 + 11) G == 5G + 11G.
+        let lhs = g.mul(&U256::from_u64(16));
+        let rhs = g.mul(&U256::from_u64(5)).add(&g.mul(&U256::from_u64(11)));
+        assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_naive() {
+        let g = Point::generator();
+        let q = g.mul(&U256::from_u64(999));
+        let a = U256::from_u64(123456);
+        let b = U256::from_u64(654321);
+        let fast = g.double_scalar_mul(&a, &q, &b);
+        let slow = g.mul(&a).add(&q.mul(&b));
+        assert!(fast.eq_point(&slow));
+    }
+
+    #[test]
+    fn infinity_identity() {
+        let g = Point::generator();
+        let inf = Point::infinity();
+        assert!(g.add(&inf).eq_point(&g));
+        assert!(inf.add(&g).eq_point(&g));
+        assert!(inf.add(&inf).is_infinity());
+        assert!(inf.double().is_infinity());
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let g = Point::generator().mul(&U256::from_u64(42));
+        assert!(g.add(&g.neg()).is_infinity());
+    }
+
+    #[test]
+    fn off_curve_rejected() {
+        assert!(Point::from_affine(U256::from_u64(1), U256::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn sec1_uncompressed_round_trip() {
+        let p = Point::generator().mul(&U256::from_u64(777));
+        let enc = p.to_uncompressed().unwrap();
+        let q = Point::from_sec1(&enc).unwrap();
+        assert!(p.eq_point(&q));
+    }
+
+    #[test]
+    fn sec1_compressed_round_trip() {
+        for k in [1u64, 2, 3, 7, 1000, 123456789] {
+            let p = Point::generator().mul(&U256::from_u64(k));
+            let enc = p.to_compressed().unwrap();
+            let q = Point::from_sec1(&enc).unwrap();
+            assert!(p.eq_point(&q), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sec1_malformed_rejected() {
+        assert!(Point::from_sec1(&[]).is_none());
+        assert!(Point::from_sec1(&[0x04; 10]).is_none());
+        assert!(Point::from_sec1(&[0x05; 65]).is_none());
+        let mut enc = Point::generator().to_uncompressed().unwrap();
+        enc[10] ^= 0xff;
+        assert!(Point::from_sec1(&enc).is_none());
+    }
+}

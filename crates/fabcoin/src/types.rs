@@ -1,0 +1,144 @@
+//! Fabcoin data model (paper Sec. 5.1): the UTXO representation in the
+//! key-value store.
+//!
+//! Each coin state is one KVS entry `(txid.j, (amount, owner, label))`,
+//! created once (unspent) and destroyed once (spent); concurrent updates to
+//! the same entry are double-spend attempts caught by the PTM's version
+//! check.
+
+use fabric_primitives::ids::TxId;
+use fabric_primitives::wire::{Decoder, Encoder, Wire, WireError};
+
+/// The Fabcoin chaincode / state namespace.
+pub const FABCOIN_NAMESPACE: &str = "fabcoin";
+
+/// A coin state: value, owner public key, and currency label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoinState {
+    /// Amount of currency units.
+    pub amount: u64,
+    /// SEC1-encoded public key of the owner.
+    pub owner: Vec<u8>,
+    /// Currency label (e.g. `"USD"`, `"FBC"`).
+    pub label: String,
+}
+
+impl Wire for CoinState {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.amount);
+        enc.put_bytes(&self.owner);
+        enc.put_string(&self.label);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(CoinState {
+            amount: dec.get_u64()?,
+            owner: dec.get_bytes()?,
+            label: dec.get_string()?,
+        })
+    }
+}
+
+/// The KVS key of the `j`-th output of transaction `txid`: `"<txid>.<j>"`.
+pub fn coin_key(txid: &TxId, j: u32) -> String {
+    format!("{}.{j}", txid.to_hex())
+}
+
+/// A Fabcoin request: the operation a client wallet signs
+/// (`(inputs, outputs, sigs)` in the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FabcoinRequest {
+    /// Keys of the coin states being spent (empty for mint).
+    pub inputs: Vec<String>,
+    /// Coin states being created.
+    pub outputs: Vec<CoinState>,
+    /// Signatures: by each input's owner (spend) or by central banks
+    /// (mint), over [`FabcoinRequest::signing_bytes`].
+    pub sigs: Vec<Vec<u8>>,
+}
+
+impl FabcoinRequest {
+    /// Returns `true` if this request mints new coins.
+    pub fn is_mint(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The bytes wallet keys sign: the request core (inputs + outputs)
+    /// concatenated with the transaction id, which binds the signature to
+    /// this transaction's nonce (replay protection, paper Sec. 5.1).
+    pub fn signing_bytes(&self, txid: &TxId) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_seq(&self.inputs, |e, i| e.put_string(i));
+        enc.put_seq(&self.outputs, |e, o| o.encode(e));
+        let mut bytes = enc.finish();
+        bytes.extend_from_slice(&txid.0);
+        bytes
+    }
+}
+
+impl Wire for FabcoinRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.inputs, |e, i| e.put_string(i));
+        enc.put_seq(&self.outputs, |e, o| o.encode(e));
+        enc.put_seq(&self.sigs, |e, s| e.put_bytes(s));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(FabcoinRequest {
+            inputs: dec.get_seq(|d| d.get_string())?,
+            outputs: dec.get_seq(CoinState::decode)?,
+            sigs: dec.get_seq(|d| d.get_bytes())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_state_round_trip() {
+        let coin = CoinState {
+            amount: 100,
+            owner: vec![4u8; 65],
+            label: "FBC".into(),
+        };
+        assert_eq!(CoinState::from_wire(&coin.to_wire()).unwrap(), coin);
+    }
+
+    #[test]
+    fn coin_key_format() {
+        let txid = TxId::derive(b"c", &[1; 32]);
+        let key = coin_key(&txid, 3);
+        assert!(key.ends_with(".3"));
+        assert_eq!(key.len(), 64 + 2);
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = FabcoinRequest {
+            inputs: vec!["abc.0".into()],
+            outputs: vec![CoinState {
+                amount: 5,
+                owner: vec![1; 65],
+                label: "FBC".into(),
+            }],
+            sigs: vec![vec![9; 64]],
+        };
+        assert_eq!(FabcoinRequest::from_wire(&req.to_wire()).unwrap(), req);
+        assert!(!req.is_mint());
+    }
+
+    #[test]
+    fn signing_bytes_bind_txid_not_sigs() {
+        let mut req = FabcoinRequest {
+            inputs: vec![],
+            outputs: vec![],
+            sigs: vec![],
+        };
+        let t1 = TxId::derive(b"c", &[1; 32]);
+        let t2 = TxId::derive(b"c", &[2; 32]);
+        assert_ne!(req.signing_bytes(&t1), req.signing_bytes(&t2));
+        let before = req.signing_bytes(&t1);
+        req.sigs.push(vec![1; 64]);
+        assert_eq!(req.signing_bytes(&t1), before, "sigs excluded from core");
+    }
+}

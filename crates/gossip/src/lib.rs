@@ -1,0 +1,690 @@
+//! # fabric-gossip
+//!
+//! The peer-to-peer gossip layer (paper Sec. 4.3): epidemic dissemination
+//! of ordered blocks from the ordering service to every peer, an
+//! eventually-consistent membership view built from periodic heartbeats,
+//! and per-organization leader election so that only one peer per org
+//! pulls blocks from the ordering service and seeds its org.
+//!
+//! Fabric gossip uses two phases — **push** (forward a freshly learned
+//! block to a random fanout of neighbours) and **pull** (periodically probe
+//! a random peer for blocks we are missing) — because the combination is
+//! what disseminates with high probability at near-optimal bandwidth
+//! [Demers et al.; Karp et al.], and pull doubles as state transfer for
+//! peers that reconnect after a crash or partition.
+//!
+//! Like the consensus crates, [`GossipNode`] is a deterministic state
+//! machine: drivers feed ticks and messages, and act on the returned
+//! [`GossipOutput`]s. Block payloads are opaque bytes here; signature
+//! verification happens at the peer layer, which can authenticate blocks
+//! independently because they are signed by the ordering service.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fabric_primitives::ChannelId;
+
+/// Identifier of a peer in the gossip overlay.
+pub type PeerId = u64;
+
+/// Gossip tuning parameters.
+#[derive(Clone, Debug)]
+pub struct GossipConfig {
+    /// Number of random neighbours a new block is pushed to.
+    pub fanout: usize,
+    /// Ticks between pull probes.
+    pub pull_interval: u64,
+    /// Ticks between membership heartbeats.
+    pub membership_interval: u64,
+    /// Ticks after which a silent member is considered offline.
+    pub member_timeout: u64,
+    /// Maximum blocks returned by one pull response.
+    pub max_pull_batch: usize,
+    /// Whether push dissemination is enabled (disabled in some paper
+    /// experiments where peers connect to the orderer directly).
+    pub push_enabled: bool,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 7, // the paper's WAN experiments use fanout 7
+            pull_interval: 4,
+            membership_interval: 2,
+            member_timeout: 20,
+            max_pull_batch: 16,
+            push_enabled: true,
+        }
+    }
+}
+
+/// Gossip protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GossipMessage {
+    /// A block payload pushed eagerly.
+    BlockPush {
+        /// Channel the block belongs to.
+        channel: ChannelId,
+        /// Block sequence number.
+        block_num: u64,
+        /// Serialized block.
+        payload: Vec<u8>,
+    },
+    /// A pull probe: "send me blocks above `have`".
+    PullRequest {
+        /// Channel to probe.
+        channel: ChannelId,
+        /// Highest contiguous block the requester holds.
+        have: u64,
+    },
+    /// Membership heartbeat: the sender's view of alive peers.
+    Membership {
+        /// `(peer, org, heartbeat counter)` triples.
+        alive: Vec<(PeerId, String, u64)>,
+    },
+}
+
+/// Events a gossip driver must act on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GossipOutput {
+    /// Send `message` to `to`.
+    Send {
+        /// Destination peer.
+        to: PeerId,
+        /// The message.
+        message: GossipMessage,
+    },
+    /// A block is ready for the peer to validate and commit, in order.
+    DeliverBlock {
+        /// Channel.
+        channel: ChannelId,
+        /// Block number.
+        block_num: u64,
+        /// Serialized block.
+        payload: Vec<u8>,
+    },
+    /// This node is its org's leader and should pull the next blocks from
+    /// the ordering service (the driver owns the orderer connection).
+    PullFromOrderer {
+        /// Channel to pull.
+        channel: ChannelId,
+        /// Next block number needed.
+        next: u64,
+    },
+}
+
+struct Member {
+    org: String,
+    heartbeat: u64,
+    last_heard: u64,
+}
+
+/// One peer's gossip component.
+pub struct GossipNode {
+    id: PeerId,
+    org: String,
+    config: GossipConfig,
+    rng: StdRng,
+    now: u64,
+    members: HashMap<PeerId, Member>,
+    /// Per-channel store of received block payloads.
+    store: HashMap<ChannelId, BTreeMap<u64, Vec<u8>>>,
+    /// Highest block delivered contiguously per channel.
+    delivered: HashMap<ChannelId, u64>,
+    channels: Vec<ChannelId>,
+}
+
+impl GossipNode {
+    /// Creates a gossip node. `bootstrap` seeds the membership view with
+    /// `(peer, org)` pairs (the channel configuration provides these in a
+    /// real deployment). `channels` lists the channels to track; the
+    /// delivered watermark starts at 0 (the genesis block is obtained
+    /// out-of-band when joining a channel).
+    pub fn new(
+        id: PeerId,
+        org: impl Into<String>,
+        bootstrap: &[(PeerId, String)],
+        channels: Vec<ChannelId>,
+        config: GossipConfig,
+        seed: u64,
+    ) -> Self {
+        let org = org.into();
+        let mut members = HashMap::new();
+        for (peer, peer_org) in bootstrap {
+            if *peer != id {
+                members.insert(
+                    *peer,
+                    Member {
+                        org: peer_org.clone(),
+                        heartbeat: 0,
+                        last_heard: 0,
+                    },
+                );
+            }
+        }
+        GossipNode {
+            id,
+            org,
+            config,
+            rng: StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x5851_f42d_4c95_7f2d)),
+            now: 0,
+            members,
+            store: HashMap::new(),
+            delivered: HashMap::new(),
+            channels,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Highest contiguously delivered block on `channel`.
+    pub fn delivered_height(&self, channel: &ChannelId) -> u64 {
+        self.delivered.get(channel).copied().unwrap_or(0)
+    }
+
+    /// Currently alive peers (heard from within the timeout).
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        self.members
+            .iter()
+            .filter(|(_, m)| self.now.saturating_sub(m.last_heard) < self.config.member_timeout)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Whether this node is currently its org's leader: the alive org
+    /// member with the smallest id (deterministic election over the
+    /// membership view; leader failure is healed by membership expiry).
+    pub fn is_org_leader(&self) -> bool {
+        !self
+            .alive_peers()
+            .into_iter()
+            .any(|p| p < self.id && self.members[&p].org == self.org)
+    }
+
+    /// Ingests a block this node obtained directly from the ordering
+    /// service (leaders call this).
+    pub fn on_block_from_orderer(
+        &mut self,
+        channel: &ChannelId,
+        block_num: u64,
+        payload: Vec<u8>,
+    ) -> Vec<GossipOutput> {
+        let mut out = Vec::new();
+        self.ingest_block(channel, block_num, payload, None, &mut out);
+        out
+    }
+
+    /// Handles a gossip message from `from`.
+    pub fn step(&mut self, from: PeerId, message: GossipMessage) -> Vec<GossipOutput> {
+        let mut out = Vec::new();
+        // Any direct message is a liveness signal.
+        if let Some(m) = self.members.get_mut(&from) {
+            m.last_heard = self.now;
+        }
+        match message {
+            GossipMessage::BlockPush {
+                channel,
+                block_num,
+                payload,
+            } => {
+                self.ingest_block(&channel, block_num, payload, Some(from), &mut out);
+            }
+            GossipMessage::PullRequest { channel, have } => {
+                if let Some(store) = self.store.get(&channel) {
+                    for (&num, payload) in store.range(have + 1..) {
+                        if (num - have) as usize > self.config.max_pull_batch {
+                            break;
+                        }
+                        out.push(GossipOutput::Send {
+                            to: from,
+                            message: GossipMessage::BlockPush {
+                                channel: channel.clone(),
+                                block_num: num,
+                                payload: payload.clone(),
+                            },
+                        });
+                    }
+                }
+            }
+            GossipMessage::Membership { alive } => {
+                for (peer, org, heartbeat) in alive {
+                    if peer == self.id {
+                        continue;
+                    }
+                    let entry = self.members.entry(peer).or_insert(Member {
+                        org,
+                        heartbeat: 0,
+                        last_heard: 0,
+                    });
+                    if heartbeat > entry.heartbeat {
+                        entry.heartbeat = heartbeat;
+                        entry.last_heard = self.now;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances the clock: membership heartbeats, pull probes, and (for
+    /// org leaders) orderer pulls.
+    pub fn tick(&mut self) -> Vec<GossipOutput> {
+        self.now += 1;
+        let mut out = Vec::new();
+        // Membership dissemination.
+        if self.now % self.config.membership_interval == 0 {
+            let mut view: Vec<(PeerId, String, u64)> = vec![(self.id, self.org.clone(), self.now)];
+            for (&peer, member) in &self.members {
+                if self.now.saturating_sub(member.last_heard) < self.config.member_timeout {
+                    view.push((peer, member.org.clone(), member.heartbeat));
+                }
+            }
+            for target in self.random_alive(self.config.fanout, None) {
+                out.push(GossipOutput::Send {
+                    to: target,
+                    message: GossipMessage::Membership {
+                        alive: view.clone(),
+                    },
+                });
+            }
+        }
+        // Pull probes.
+        if self.now % self.config.pull_interval == 0 {
+            let channels = self.channels.clone();
+            for channel in channels {
+                let have = self.delivered_height(&channel);
+                if let Some(target) = self.random_alive(1, None).first().copied() {
+                    out.push(GossipOutput::Send {
+                        to: target,
+                        message: GossipMessage::PullRequest {
+                            channel: channel.clone(),
+                            have,
+                        },
+                    });
+                }
+            }
+        }
+        // Leader duty: ask the driver to pull from the ordering service.
+        if self.is_org_leader() {
+            let channels = self.channels.clone();
+            for channel in channels {
+                let next = self.delivered_height(&channel) + 1;
+                out.push(GossipOutput::PullFromOrderer { channel, next });
+            }
+        }
+        out
+    }
+
+    /// Stores a block if new, delivers contiguous blocks, and pushes to a
+    /// random fanout (excluding the peer we got it from).
+    fn ingest_block(
+        &mut self,
+        channel: &ChannelId,
+        block_num: u64,
+        payload: Vec<u8>,
+        from: Option<PeerId>,
+        out: &mut Vec<GossipOutput>,
+    ) {
+        let delivered_height = self.delivered_height(channel);
+        let store = self.store.entry(channel.clone()).or_default();
+        if store.contains_key(&block_num) || block_num <= delivered_height {
+            return; // already known
+        }
+        store.insert(block_num, payload.clone());
+        // Deliver contiguously.
+        let mut delivered = self.delivered.get(channel).copied().unwrap_or(0);
+        let store = self.store.get(channel).expect("just inserted");
+        let mut deliveries = Vec::new();
+        while let Some(p) = store.get(&(delivered + 1)) {
+            delivered += 1;
+            deliveries.push(GossipOutput::DeliverBlock {
+                channel: channel.clone(),
+                block_num: delivered,
+                payload: p.clone(),
+            });
+        }
+        self.delivered.insert(channel.clone(), delivered);
+        out.extend(deliveries);
+        // Push phase.
+        if self.config.push_enabled {
+            for target in self.random_alive(self.config.fanout, from) {
+                out.push(GossipOutput::Send {
+                    to: target,
+                    message: GossipMessage::BlockPush {
+                        channel: channel.clone(),
+                        block_num,
+                        payload: payload.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    fn random_alive(&mut self, count: usize, exclude: Option<PeerId>) -> Vec<PeerId> {
+        let now = self.now;
+        let timeout = self.config.member_timeout;
+        let mut alive: Vec<PeerId> = self
+            .members
+            .iter()
+            .filter(|(&id, m)| Some(id) != exclude && now.saturating_sub(m.last_heard) < timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        alive.sort_unstable(); // determinism before shuffling
+        alive.shuffle(&mut self.rng);
+        alive.truncate(count);
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn channel() -> ChannelId {
+        ChannelId::new("ch")
+    }
+
+    /// In-memory overlay of gossip nodes with optional per-peer isolation.
+    struct Overlay {
+        nodes: Vec<GossipNode>,
+        network: VecDeque<(PeerId, PeerId, GossipMessage)>,
+        delivered: Vec<Vec<u64>>,
+        isolated: Vec<PeerId>,
+        /// Collected PullFromOrderer requests per node.
+        orderer_pulls: Vec<Vec<u64>>,
+    }
+
+    impl Overlay {
+        /// `orgs[i]` is the org of node `i`; ids are 1-based.
+        fn new(orgs: &[&str], config: GossipConfig) -> Self {
+            let bootstrap: Vec<(PeerId, String)> = orgs
+                .iter()
+                .enumerate()
+                .map(|(i, org)| (i as u64 + 1, org.to_string()))
+                .collect();
+            let nodes = bootstrap
+                .iter()
+                .map(|(id, org)| {
+                    GossipNode::new(
+                        *id,
+                        org.clone(),
+                        &bootstrap,
+                        vec![channel()],
+                        config.clone(),
+                        99,
+                    )
+                })
+                .collect();
+            Overlay {
+                delivered: vec![Vec::new(); orgs.len()],
+                orderer_pulls: vec![Vec::new(); orgs.len()],
+                nodes,
+                network: VecDeque::new(),
+                isolated: Vec::new(),
+            }
+        }
+
+        fn absorb(&mut self, from: PeerId, outputs: Vec<GossipOutput>) {
+            for output in outputs {
+                match output {
+                    GossipOutput::Send { to, message } => {
+                        self.network.push_back((from, to, message));
+                    }
+                    GossipOutput::DeliverBlock { block_num, .. } => {
+                        self.delivered[from as usize - 1].push(block_num);
+                    }
+                    GossipOutput::PullFromOrderer { next, .. } => {
+                        self.orderer_pulls[from as usize - 1].push(next);
+                    }
+                }
+            }
+        }
+
+        fn drain(&mut self) {
+            let mut budget = 500_000;
+            while let Some((from, to, msg)) = self.network.pop_front() {
+                budget -= 1;
+                assert!(budget > 0, "gossip network did not quiesce");
+                if self.isolated.contains(&from) || self.isolated.contains(&to) {
+                    continue;
+                }
+                let outputs = self.nodes[to as usize - 1].step(from, msg);
+                self.absorb(to, outputs);
+            }
+        }
+
+        fn tick(&mut self) {
+            for i in 0..self.nodes.len() {
+                if self.isolated.contains(&(i as u64 + 1)) {
+                    continue;
+                }
+                let outputs = self.nodes[i].tick();
+                self.absorb(i as u64 + 1, outputs);
+            }
+            self.drain();
+        }
+
+        fn inject_block(&mut self, node: usize, num: u64) {
+            let payload = vec![num as u8; 64];
+            let outputs = self.nodes[node].on_block_from_orderer(&channel(), num, payload);
+            self.absorb(node as u64 + 1, outputs);
+            self.drain();
+        }
+    }
+
+    #[test]
+    fn push_disseminates_to_all() {
+        let mut overlay = Overlay::new(&["A", "A", "A", "A", "A", "A"], GossipConfig::default());
+        // Warm the membership view.
+        for _ in 0..3 {
+            overlay.tick();
+        }
+        overlay.inject_block(0, 1);
+        overlay.inject_block(0, 2);
+        for _ in 0..3 {
+            overlay.tick();
+        }
+        for (i, d) in overlay.delivered.iter().enumerate() {
+            assert_eq!(d, &vec![1, 2], "peer {} delivered in order", i + 1);
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_buffers() {
+        let config = GossipConfig {
+            push_enabled: false, // isolate the buffering logic
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::new(1, "A", &[], vec![channel()], config, 1);
+        let out = node.on_block_from_orderer(&channel(), 2, vec![2]);
+        assert!(out
+            .iter()
+            .all(|o| !matches!(o, GossipOutput::DeliverBlock { .. })));
+        let out = node.on_block_from_orderer(&channel(), 1, vec![1]);
+        let delivered: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                GossipOutput::DeliverBlock { block_num, .. } => Some(*block_num),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2]);
+        assert_eq!(node.delivered_height(&channel()), 2);
+    }
+
+    #[test]
+    fn duplicate_blocks_not_repushed() {
+        let mut node = GossipNode::new(
+            1,
+            "A",
+            &[(2, "A".into()), (3, "A".into())],
+            vec![channel()],
+            GossipConfig::default(),
+            1,
+        );
+        let out1 = node.on_block_from_orderer(&channel(), 1, vec![1]);
+        let pushes1 = out1
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    GossipOutput::Send {
+                        message: GossipMessage::BlockPush { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(pushes1 > 0);
+        let out2 = node.on_block_from_orderer(&channel(), 1, vec![1]);
+        assert!(out2.is_empty(), "duplicate ingestion is a no-op");
+    }
+
+    #[test]
+    fn pull_repairs_isolated_peer() {
+        let config = GossipConfig {
+            pull_interval: 2,
+            ..GossipConfig::default()
+        };
+        let mut overlay = Overlay::new(&["A", "A", "A", "A"], config);
+        for _ in 0..3 {
+            overlay.tick();
+        }
+        // Peer 4 misses the pushes.
+        overlay.isolated = vec![4];
+        overlay.inject_block(0, 1);
+        overlay.inject_block(0, 2);
+        assert!(overlay.delivered[3].is_empty());
+        // Reconnect; pull probes must repair the gap.
+        overlay.isolated = vec![];
+        for _ in 0..10 {
+            overlay.tick();
+        }
+        assert_eq!(overlay.delivered[3], vec![1, 2]);
+    }
+
+    #[test]
+    fn one_leader_per_org() {
+        let mut overlay = Overlay::new(&["A", "A", "B", "B"], GossipConfig::default());
+        for _ in 0..5 {
+            overlay.tick();
+        }
+        let leaders: Vec<bool> = overlay.nodes.iter().map(|n| n.is_org_leader()).collect();
+        // Lowest id per org leads: node 1 (org A) and node 3 (org B).
+        assert_eq!(leaders, vec![true, false, true, false]);
+        // Leaders emit orderer pulls; followers don't.
+        assert!(!overlay.orderer_pulls[0].is_empty());
+        assert!(overlay.orderer_pulls[1].is_empty());
+        assert!(!overlay.orderer_pulls[2].is_empty());
+        assert!(overlay.orderer_pulls[3].is_empty());
+    }
+
+    #[test]
+    fn leader_failover_within_org() {
+        let config = GossipConfig {
+            member_timeout: 6,
+            membership_interval: 2,
+            ..GossipConfig::default()
+        };
+        let mut overlay = Overlay::new(&["A", "A", "A"], config);
+        for _ in 0..5 {
+            overlay.tick();
+        }
+        assert!(overlay.nodes[0].is_org_leader());
+        assert!(!overlay.nodes[1].is_org_leader());
+        // Node 1 goes dark; after the timeout node 2 takes over.
+        overlay.isolated = vec![1];
+        for _ in 0..10 {
+            overlay.tick();
+        }
+        assert!(overlay.nodes[1].is_org_leader(), "node 2 took over org A");
+        // Node 1 heals and reclaims leadership (lowest id).
+        overlay.isolated = vec![];
+        for _ in 0..10 {
+            overlay.tick();
+        }
+        assert!(overlay.nodes[0].is_org_leader());
+        assert!(!overlay.nodes[1].is_org_leader());
+    }
+
+    #[test]
+    fn membership_spreads_transitively() {
+        // Node 3 only knows node 2; it must learn about node 1 via gossip.
+        let config = GossipConfig {
+            membership_interval: 1,
+            ..GossipConfig::default()
+        };
+        let full: Vec<(PeerId, String)> = vec![(1, "A".into()), (2, "A".into()), (3, "A".into())];
+        let partial: Vec<(PeerId, String)> = vec![(2, "A".into())];
+        let mut overlay = Overlay::new(&["A", "A", "A"], config.clone());
+        overlay.nodes[0] = GossipNode::new(1, "A", &full, vec![channel()], config.clone(), 1);
+        overlay.nodes[1] = GossipNode::new(2, "A", &full, vec![channel()], config.clone(), 2);
+        overlay.nodes[2] = GossipNode::new(3, "A", &partial, vec![channel()], config, 3);
+        for _ in 0..10 {
+            overlay.tick();
+        }
+        assert!(
+            overlay.nodes[2].alive_peers().contains(&1),
+            "node 3 learned about node 1 transitively"
+        );
+    }
+
+    #[test]
+    fn pull_respects_batch_limit() {
+        let config = GossipConfig {
+            max_pull_batch: 3,
+            push_enabled: false,
+            ..GossipConfig::default()
+        };
+        let mut holder = GossipNode::new(1, "A", &[(2, "A".into())], vec![channel()], config, 1);
+        for num in 1..=10 {
+            holder.on_block_from_orderer(&channel(), num, vec![num as u8]);
+        }
+        let out = holder.step(
+            2,
+            GossipMessage::PullRequest {
+                channel: channel(),
+                have: 0,
+            },
+        );
+        let pushes = out
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    GossipOutput::Send {
+                        message: GossipMessage::BlockPush { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(pushes, 3);
+    }
+
+    #[test]
+    fn convergence_at_scale_with_fanout() {
+        // 30 peers, one seed; fanout-7 push + pull converge quickly.
+        let orgs: Vec<&str> = (0..30).map(|_| "A").collect();
+        let mut overlay = Overlay::new(&orgs, GossipConfig::default());
+        for _ in 0..4 {
+            overlay.tick();
+        }
+        for num in 1..=5 {
+            overlay.inject_block(0, num);
+        }
+        for _ in 0..12 {
+            overlay.tick();
+        }
+        for (i, d) in overlay.delivered.iter().enumerate() {
+            assert_eq!(d.len(), 5, "peer {} got all blocks", i + 1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Write-ahead log framing with CRC-32 integrity.
+//!
+//! Every committed write batch is appended as one framed record:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload bytes]
+//! ```
+//!
+//! Replay stops cleanly at the first torn or corrupt record, which is
+//! exactly the crash-recovery behaviour the ledger's savepoint logic
+//! (paper Sec. 4.4) builds on: a crash mid-append loses only the
+//! unacknowledged tail.
+
+use crate::backend::BackendFile;
+use crate::StoreError;
+
+/// Computes the IEEE CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Standard bitwise IEEE 802.3 implementation (polynomial 0xEDB88320).
+    let mut crc: u32 = 0xffff_ffff;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one framed record, returning the offset it starts at.
+pub fn append_record(file: &mut dyn BackendFile, payload: &[u8]) -> Result<u64, StoreError> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    file.append(&frame)
+}
+
+/// Reads every intact record from the start of the file.
+///
+/// Returns the payloads and the offset of the first byte *after* the last
+/// intact record; a torn or corrupt tail is reported via that offset so the
+/// caller can truncate it.
+pub fn read_all(file: &mut dyn BackendFile) -> Result<(Vec<Vec<u8>>, u64), StoreError> {
+    let total = file.len()?;
+    let mut records = Vec::new();
+    let mut offset: u64 = 0;
+    loop {
+        if offset + 8 > total {
+            break;
+        }
+        let header = file.read_at(offset, 8)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if offset + 8 + len > total {
+            break; // torn tail
+        }
+        let payload = file.read_at(offset + 8, len as usize)?;
+        if crc32(&payload) != crc {
+            break; // corrupt tail
+        }
+        records.push(payload);
+        offset += 8 + len;
+    }
+    Ok((records, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, MemBackend};
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let backend = MemBackend::new();
+        let mut f = backend.open("wal").unwrap();
+        append_record(f.as_mut(), b"one").unwrap();
+        append_record(f.as_mut(), b"two").unwrap();
+        append_record(f.as_mut(), b"").unwrap();
+        let (records, end) = read_all(f.as_mut()).unwrap();
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert_eq!(end, f.len().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_ignored() {
+        let backend = MemBackend::new();
+        let mut f = backend.open("wal").unwrap();
+        append_record(f.as_mut(), b"complete").unwrap();
+        let good_end = f.len().unwrap();
+        // Simulate a crash mid-append: header promising more than exists.
+        f.append(&20u32.to_le_bytes()).unwrap();
+        f.append(&0u32.to_le_bytes()).unwrap();
+        f.append(b"shor").unwrap();
+        let (records, end) = read_all(f.as_mut()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(end, good_end);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let backend = MemBackend::new();
+        let mut f = backend.open("wal").unwrap();
+        append_record(f.as_mut(), b"first").unwrap();
+        let good_end = f.len().unwrap();
+        // A record with a bad checksum.
+        f.append(&5u32.to_le_bytes()).unwrap();
+        f.append(&0xdeadbeefu32.to_le_bytes()).unwrap();
+        f.append(b"xxxxx").unwrap();
+        // And a good one after it, which must NOT be reached.
+        append_record(f.as_mut(), b"after-corruption").unwrap();
+        let (records, end) = read_all(f.as_mut()).unwrap();
+        assert_eq!(records, vec![b"first".to_vec()]);
+        assert_eq!(end, good_end);
+    }
+
+    #[test]
+    fn empty_log() {
+        let backend = MemBackend::new();
+        let mut f = backend.open("wal").unwrap();
+        let (records, end) = read_all(f.as_mut()).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(end, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! The append-only block store (paper Sec. 4.4).
+//!
+//! Blocks are immutable and arrive in a definite order, so the store is a
+//! single append-only file of CRC-framed records plus in-memory indices for
+//! random access by block number and by transaction id. The indices are
+//! rebuilt by scanning the file on open; a torn tail (crash mid-append) is
+//! truncated.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use fabric_crypto::Digest;
+use fabric_kvstore::backend::{Backend, BackendFile};
+use fabric_kvstore::log;
+use fabric_primitives::block::Block;
+use fabric_primitives::ids::TxId;
+use fabric_primitives::wire::Wire;
+
+use crate::LedgerError;
+
+const BLOCKS_FILE: &str = "blocks.dat";
+
+/// Location of a transaction: block number and index within the block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxLocation {
+    /// The containing block's number.
+    pub block_num: u64,
+    /// The transaction's index within the block.
+    pub tx_index: u32,
+}
+
+struct Index {
+    /// Byte offset and length of each block record, by block number.
+    blocks: Vec<(u64, usize)>,
+    /// Transaction id → location.
+    txs: HashMap<TxId, TxLocation>,
+    /// Hash of the last appended block's header.
+    last_hash: Digest,
+    /// Number of the most recent config block (0 = genesis).
+    last_config: u64,
+}
+
+/// Persistent, indexed storage of the block chain.
+pub struct BlockStore {
+    file: Mutex<Box<dyn BackendFile>>,
+    index: RwLock<Index>,
+    sync_writes: bool,
+}
+
+impl BlockStore {
+    /// Opens a block store, scanning existing blocks to rebuild indices.
+    pub fn open(backend: Arc<dyn Backend>, sync_writes: bool) -> Result<Self, LedgerError> {
+        let mut file = backend.open(BLOCKS_FILE)?;
+        let (records, good_end) = log::read_all(file.as_mut())?;
+        if good_end < file.len()? {
+            file.truncate(good_end)?;
+        }
+        let mut index = Index {
+            blocks: Vec::with_capacity(records.len()),
+            txs: HashMap::new(),
+            last_hash: [0u8; 32],
+            last_config: 0,
+        };
+        let mut offset = 0u64;
+        for (i, payload) in records.iter().enumerate() {
+            let block = Block::from_wire(payload).map_err(|_| LedgerError::Corrupt)?;
+            if block.header.number != i as u64 {
+                return Err(LedgerError::Corrupt);
+            }
+            Self::index_block(&mut index, &block, offset, payload.len());
+            offset += 8 + payload.len() as u64;
+        }
+        Ok(BlockStore {
+            file: Mutex::new(file),
+            index: RwLock::new(index),
+            sync_writes,
+        })
+    }
+
+    fn index_block(index: &mut Index, block: &Block, offset: u64, len: usize) {
+        for (i, env) in block.envelopes.iter().enumerate() {
+            index.txs.insert(
+                env.tx_id(),
+                TxLocation {
+                    block_num: block.header.number,
+                    tx_index: i as u32,
+                },
+            );
+        }
+        if block.is_config_block() {
+            index.last_config = block.header.number;
+        }
+        index.last_hash = block.hash();
+        index.blocks.push((offset, len));
+    }
+
+    /// Appends the next block.
+    ///
+    /// The block's number must equal the current height and its
+    /// previous-hash must match the last appended block (the "no skipping" /
+    /// "hash chain integrity" properties are enforced at the storage
+    /// boundary too).
+    pub fn append(&self, block: &Block) -> Result<(), LedgerError> {
+        let payload = block.to_wire();
+        let mut file = self.file.lock();
+        let mut index = self.index.write();
+        let height = index.blocks.len() as u64;
+        if block.header.number != height {
+            return Err(LedgerError::OutOfOrder {
+                expected: height,
+                got: block.header.number,
+            });
+        }
+        if height > 0 && block.header.previous_hash != index.last_hash {
+            return Err(LedgerError::HashChainBroken(block.header.number));
+        }
+        let offset = log::append_record(file.as_mut(), &payload)?;
+        if self.sync_writes {
+            file.sync()?;
+        }
+        Self::index_block(&mut index, block, offset, payload.len());
+        Ok(())
+    }
+
+    /// Current chain height (number of blocks stored).
+    pub fn height(&self) -> u64 {
+        self.index.read().blocks.len() as u64
+    }
+
+    /// Hash of the most recently appended block header (zeroes if empty).
+    pub fn last_hash(&self) -> Digest {
+        self.index.read().last_hash
+    }
+
+    /// Number of the most recent configuration block.
+    pub fn last_config(&self) -> u64 {
+        self.index.read().last_config
+    }
+
+    /// Reads block `number`, or `None` past the current height.
+    pub fn get_block(&self, number: u64) -> Result<Option<Block>, LedgerError> {
+        let (offset, len) = {
+            let index = self.index.read();
+            match index.blocks.get(number as usize) {
+                Some(&loc) => loc,
+                None => return Ok(None),
+            }
+        };
+        let payload = self.file.lock().read_at(offset + 8, len)?;
+        let block = Block::from_wire(&payload).map_err(|_| LedgerError::Corrupt)?;
+        Ok(Some(block))
+    }
+
+    /// Looks up the location of a transaction by id.
+    pub fn tx_location(&self, tx_id: &TxId) -> Option<TxLocation> {
+        self.index.read().txs.get(tx_id).copied()
+    }
+
+    /// Returns `true` if a transaction id has already been committed.
+    pub fn contains_tx(&self, tx_id: &TxId) -> bool {
+        self.index.read().txs.contains_key(tx_id)
+    }
+
+    /// Reads the block containing `tx_id`, if any.
+    pub fn get_block_by_tx(&self, tx_id: &TxId) -> Result<Option<Block>, LedgerError> {
+        match self.tx_location(tx_id) {
+            Some(loc) => self.get_block(loc.block_num),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_kvstore::MemBackend;
+    use fabric_primitives::block::Block;
+    use fabric_primitives::ids::{ChaincodeId, ChannelId, SerializedIdentity};
+    use fabric_primitives::rwset::TxReadWriteSet;
+    use fabric_primitives::transaction::{
+        ChaincodeResponse, Envelope, EnvelopeContent, ProposalPayload, ProposalResponsePayload,
+        Transaction,
+    };
+
+    fn envelope(n: u8) -> Envelope {
+        let creator = SerializedIdentity::new("Org1MSP", vec![n; 16]);
+        let tx = Transaction {
+            channel: ChannelId::new("ch"),
+            creator: creator.clone(),
+            nonce: [n; 32],
+            proposal_payload: ProposalPayload {
+                chaincode: ChaincodeId::new("cc", "1"),
+                function: "f".into(),
+                args: vec![],
+            },
+            response_payload: ProposalResponsePayload {
+                tx_id: TxId::derive(&creator.to_wire(), &[n; 32]),
+                chaincode: ChaincodeId::new("cc", "1"),
+                rwset: TxReadWriteSet::default(),
+                response: ChaincodeResponse::ok(vec![]),
+            },
+            endorsements: vec![],
+        };
+        Envelope {
+            content: EnvelopeContent::Transaction(tx),
+            signature: vec![],
+        }
+    }
+
+    fn chain_of(n: u64) -> (Arc<MemBackend>, BlockStore, Vec<Block>) {
+        let backend = Arc::new(MemBackend::new());
+        let store = BlockStore::open(backend.clone(), false).unwrap();
+        let mut blocks = Vec::new();
+        let mut prev = [0u8; 32];
+        for i in 0..n {
+            let block = Block::new(i, prev, vec![envelope(i as u8), envelope(i as u8 + 100)]);
+            prev = block.hash();
+            store.append(&block).unwrap();
+            blocks.push(block);
+        }
+        (backend, store, blocks)
+    }
+
+    #[test]
+    fn append_and_read() {
+        let (_, store, blocks) = chain_of(5);
+        assert_eq!(store.height(), 5);
+        for (i, expected) in blocks.iter().enumerate() {
+            assert_eq!(&store.get_block(i as u64).unwrap().unwrap(), expected);
+        }
+        assert!(store.get_block(5).unwrap().is_none());
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let (_, store, _) = chain_of(2);
+        let bad = Block::new(5, store.last_hash(), vec![]);
+        assert!(matches!(
+            store.append(&bad),
+            Err(LedgerError::OutOfOrder { expected: 2, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn broken_hash_chain_rejected() {
+        let (_, store, _) = chain_of(2);
+        let bad = Block::new(2, [9u8; 32], vec![]);
+        assert!(matches!(
+            store.append(&bad),
+            Err(LedgerError::HashChainBroken(2))
+        ));
+    }
+
+    #[test]
+    fn tx_index() {
+        let (_, store, blocks) = chain_of(3);
+        let tx_id = blocks[1].envelopes[1].tx_id();
+        let loc = store.tx_location(&tx_id).unwrap();
+        assert_eq!(loc.block_num, 1);
+        assert_eq!(loc.tx_index, 1);
+        assert!(store.contains_tx(&tx_id));
+        let block = store.get_block_by_tx(&tx_id).unwrap().unwrap();
+        assert_eq!(block.header.number, 1);
+        assert!(!store.contains_tx(&envelope(250).tx_id()));
+    }
+
+    #[test]
+    fn reopen_rebuilds_index() {
+        let (backend, store, blocks) = chain_of(4);
+        let last = store.last_hash();
+        drop(store);
+        let store = BlockStore::open(backend, false).unwrap();
+        assert_eq!(store.height(), 4);
+        assert_eq!(store.last_hash(), last);
+        let tx_id = blocks[3].envelopes[0].tx_id();
+        assert_eq!(store.tx_location(&tx_id).unwrap().block_num, 3);
+        // Chain can be extended after reopen.
+        let next = Block::new(4, last, vec![envelope(42)]);
+        store.append(&next).unwrap();
+        assert_eq!(store.height(), 5);
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_open() {
+        let (backend, store, _) = chain_of(2);
+        drop(store);
+        {
+            let mut f = backend.open("blocks.dat").unwrap();
+            f.append(&[1, 2, 3]).unwrap(); // garbage tail
+        }
+        let store = BlockStore::open(backend, false).unwrap();
+        assert_eq!(store.height(), 2);
+        let next = Block::new(2, store.last_hash(), vec![envelope(9)]);
+        store.append(&next).unwrap();
+        assert_eq!(store.height(), 3);
+    }
+
+    #[test]
+    fn empty_store() {
+        let backend = Arc::new(MemBackend::new());
+        let store = BlockStore::open(backend, false).unwrap();
+        assert_eq!(store.height(), 0);
+        assert_eq!(store.last_hash(), [0u8; 32]);
+        assert!(store.get_block(0).unwrap().is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Signing identities: a certificate paired with its private key.
+//!
+//! Every node (client, peer, orderer) holds a [`SigningIdentity`] and
+//! authenticates all its protocol messages with it (paper Sec. 4.1: "all
+//! interactions among nodes occur through messages that are authenticated,
+//! typically with digital signatures").
+
+use fabric_crypto::{Signature, SigningKey, VerifyingKey};
+use fabric_primitives::ids::SerializedIdentity;
+use fabric_primitives::wire::Wire;
+
+use crate::cert::{CertError, Certificate, Role};
+
+/// A certificate plus the matching private key; can sign messages.
+#[derive(Clone)]
+pub struct SigningIdentity {
+    cert: Certificate,
+    key: SigningKey,
+}
+
+impl SigningIdentity {
+    /// Pairs a certificate with its private key.
+    ///
+    /// Returns an error if the key does not match the certificate's
+    /// embedded public key.
+    pub fn new(cert: Certificate, key: SigningKey) -> Result<Self, CertError> {
+        let cert_key = cert.verifying_key()?;
+        if &cert_key != key.verifying_key() {
+            return Err(CertError::BadPublicKey);
+        }
+        Ok(SigningIdentity { cert, key })
+    }
+
+    /// The certificate.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The MSP id of this identity's organization.
+    pub fn msp_id(&self) -> &str {
+        &self.cert.msp_id
+    }
+
+    /// The role granted by the certificate.
+    pub fn role(&self) -> Role {
+        self.cert.role
+    }
+
+    /// Signs an arbitrary message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.key.sign(message)
+    }
+
+    /// The serialized form carried inside protocol messages.
+    pub fn serialized(&self) -> SerializedIdentity {
+        SerializedIdentity::new(self.cert.msp_id.clone(), self.cert.to_wire())
+    }
+}
+
+impl core::fmt::Debug for SigningIdentity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "SigningIdentity({} @ {}, {:?})",
+            self.cert.subject, self.cert.msp_id, self.cert.role
+        )
+    }
+}
+
+/// A validated remote identity: the parsed certificate and its public key,
+/// as produced by [`crate::msp::MspRegistry::validate`].
+#[derive(Clone, Debug)]
+pub struct ValidatedIdentity {
+    /// The parsed certificate.
+    pub cert: Certificate,
+    /// The certificate's public key, ready for verification.
+    pub key: VerifyingKey,
+}
+
+impl ValidatedIdentity {
+    /// Verifies `signature` (64-byte `r || s`) over `message`.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), CertError> {
+        let sig = Signature::from_bytes(signature).map_err(|_| CertError::BadSignature)?;
+        self.key
+            .verify(message, &sig)
+            .map_err(|_| CertError::BadSignature)
+    }
+
+    /// The organization of this identity.
+    pub fn msp_id(&self) -> &str {
+        &self.cert.msp_id
+    }
+
+    /// The role of this identity.
+    pub fn role(&self) -> Role {
+        self.cert.role
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+
+    fn identity() -> SigningIdentity {
+        let ca = CertificateAuthority::new("ca.org1", "Org1MSP", b"ca-seed");
+        let key = SigningKey::from_seed(b"client-key");
+        let cert = ca.issue("client1", Role::Client, key.verifying_key());
+        SigningIdentity::new(cert, key).unwrap()
+    }
+
+    #[test]
+    fn mismatched_key_rejected() {
+        let ca = CertificateAuthority::new("ca.org1", "Org1MSP", b"ca-seed");
+        let key = SigningKey::from_seed(b"client-key");
+        let wrong = SigningKey::from_seed(b"wrong-key");
+        let cert = ca.issue("client1", Role::Client, key.verifying_key());
+        assert!(SigningIdentity::new(cert, wrong).is_err());
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let id = identity();
+        let sig = id.sign(b"payload");
+        let validated = ValidatedIdentity {
+            key: id.cert().verifying_key().unwrap(),
+            cert: id.cert().clone(),
+        };
+        validated.verify(b"payload", &sig.to_bytes()).unwrap();
+        assert!(validated.verify(b"other", &sig.to_bytes()).is_err());
+        assert!(validated.verify(b"payload", &[0u8; 64]).is_err());
+        assert!(validated.verify(b"payload", b"short").is_err());
+    }
+
+    #[test]
+    fn serialized_form_carries_cert() {
+        let id = identity();
+        let ser = id.serialized();
+        assert_eq!(ser.msp_id, "Org1MSP");
+        let parsed = Certificate::from_wire(&ser.cert_bytes).unwrap();
+        assert_eq!(&parsed, id.cert());
+    }
+
+    #[test]
+    fn accessors() {
+        let id = identity();
+        assert_eq!(id.msp_id(), "Org1MSP");
+        assert_eq!(id.role(), Role::Client);
+    }
+}

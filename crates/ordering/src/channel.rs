@@ -1,0 +1,229 @@
+//! Per-channel state kept by every ordering-service node (paper Sec. 4.2):
+//! the current configuration (with its MSP registry and access policies),
+//! the deterministic block cutter, and the chain of cut blocks retained to
+//! answer `deliver` calls.
+
+use fabric_msp::{MspRegistry, SigningIdentity};
+use fabric_policy::{PolicyExpr, Signer};
+use fabric_primitives::block::{Block, BlockSignature};
+use fabric_primitives::config::{ChannelConfig, ConfigUpdate};
+use fabric_primitives::transaction::{Envelope, EnvelopeContent};
+use fabric_primitives::wire::Wire;
+use fabric_primitives::ChannelId;
+
+use crate::cutter::BlockCutter;
+use crate::OrderError;
+
+/// One channel's state at an OSN.
+pub struct ChannelState {
+    /// The channel id.
+    pub channel: ChannelId,
+    /// Current configuration.
+    pub config: ChannelConfig,
+    /// MSP federation built from `config.orgs`.
+    pub msp: MspRegistry,
+    writer_policy: PolicyExpr,
+    admin_policy: PolicyExpr,
+    reader_policy: PolicyExpr,
+    /// The block cutter.
+    pub cutter: BlockCutter,
+    /// All blocks cut so far (the paper's OSNs persist recent blocks to
+    /// answer `deliver`; we retain all for simplicity).
+    pub blocks: Vec<Block>,
+    /// Ticks since the current pending batch started (drives TTC).
+    pub pending_ticks: u64,
+    /// Highest block number this node already sent a time-to-cut for.
+    pub ttc_sent: u64,
+    /// Number of the most recent config block.
+    pub last_config: u64,
+}
+
+impl ChannelState {
+    /// Bootstraps a channel from its genesis configuration, producing the
+    /// genesis block (number 0) containing the config.
+    pub fn from_genesis(config: ChannelConfig) -> Result<Self, OrderError> {
+        if config.sequence != 0 {
+            return Err(OrderError::BadConfig("genesis sequence must be 0".into()));
+        }
+        let msp = MspRegistry::from_channel_config(&config).map_err(OrderError::Identity)?;
+        let writer_policy = PolicyExpr::parse(&config.writer_policy)
+            .map_err(|e| OrderError::BadConfig(format!("writer policy: {e}")))?;
+        let admin_policy = PolicyExpr::parse(&config.admin_policy)
+            .map_err(|e| OrderError::BadConfig(format!("admin policy: {e}")))?;
+        let reader_policy = PolicyExpr::parse(&config.reader_policy)
+            .map_err(|e| OrderError::BadConfig(format!("reader policy: {e}")))?;
+        let genesis_envelope = Envelope {
+            content: EnvelopeContent::Config(ConfigUpdate {
+                config: config.clone(),
+                signatures: vec![],
+            }),
+            signature: vec![],
+        };
+        let genesis = Block::new(0, [0u8; 32], vec![genesis_envelope]);
+        let cutter = BlockCutter::new(config.orderer.batch, 1);
+        Ok(ChannelState {
+            channel: config.channel.clone(),
+            config,
+            msp,
+            writer_policy,
+            admin_policy,
+            reader_policy,
+            cutter,
+            blocks: vec![genesis],
+            pending_ticks: 0,
+            ttc_sent: 0,
+            last_config: 0,
+        })
+    }
+
+    /// The hash of the last cut block.
+    pub fn last_hash(&self) -> fabric_crypto::Digest {
+        self.blocks.last().expect("genesis always present").hash()
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Serves a `deliver(seq)` call.
+    pub fn deliver(&self, seq: u64) -> Option<&Block> {
+        self.blocks.get(seq as usize)
+    }
+
+    fn signer_of(&self, identity: &fabric_msp::ValidatedIdentity) -> Signer {
+        Signer {
+            msp_id: identity.msp_id().to_string(),
+            role: identity.role().as_str().to_string(),
+        }
+    }
+
+    /// Validates an envelope at `broadcast` time: signature authenticity,
+    /// size bound, and the channel's writer (or admin, for config) policy —
+    /// the access-control role of the ordering service (paper Sec. 3.3).
+    pub fn check_broadcast(&self, envelope: &Envelope) -> Result<(), OrderError> {
+        let size = envelope.wire_size();
+        if size > self.config.orderer.batch.absolute_max_bytes as usize {
+            return Err(OrderError::TooLarge {
+                size,
+                max: self.config.orderer.batch.absolute_max_bytes as usize,
+            });
+        }
+        match &envelope.content {
+            EnvelopeContent::Transaction(tx) => {
+                let signing_bytes = Envelope::signing_bytes(&envelope.content);
+                let identity = self
+                    .msp
+                    .validate_and_verify(&tx.creator, &signing_bytes, &envelope.signature)
+                    .map_err(OrderError::Identity)?;
+                let orgs: Vec<String> =
+                    self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
+                let satisfied = self
+                    .writer_policy
+                    .evaluate(&orgs, &[self.signer_of(&identity)])
+                    .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+                if !satisfied {
+                    return Err(OrderError::AccessDenied);
+                }
+                Ok(())
+            }
+            EnvelopeContent::Config(update) => self.check_config_update(update),
+        }
+    }
+
+    /// Validates a configuration update against the *current* configuration
+    /// (paper Sec. 4.6): next sequence number and admin-policy signatures
+    /// over the new config bytes.
+    pub fn check_config_update(&self, update: &ConfigUpdate) -> Result<(), OrderError> {
+        if update.config.channel != self.channel {
+            return Err(OrderError::BadConfig("config targets another channel".into()));
+        }
+        if update.config.sequence != self.config.sequence + 1 {
+            return Err(OrderError::BadConfig(format!(
+                "config sequence {} != current {} + 1",
+                update.config.sequence, self.config.sequence
+            )));
+        }
+        let config_bytes = update.config.to_wire();
+        let mut signers = Vec::new();
+        for sig in &update.signatures {
+            let identity = self
+                .msp
+                .validate_and_verify(&sig.signer, &config_bytes, &sig.signature)
+                .map_err(OrderError::Identity)?;
+            signers.push(self.signer_of(&identity));
+        }
+        let orgs: Vec<String> = self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
+        let satisfied = self
+            .admin_policy
+            .evaluate(&orgs, &signers)
+            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+        if !satisfied {
+            return Err(OrderError::AccessDenied);
+        }
+        // The new config must itself be well-formed.
+        MspRegistry::from_channel_config(&update.config).map_err(OrderError::Identity)?;
+        PolicyExpr::parse(&update.config.writer_policy)
+            .map_err(|e| OrderError::BadConfig(format!("writer policy: {e}")))?;
+        PolicyExpr::parse(&update.config.admin_policy)
+            .map_err(|e| OrderError::BadConfig(format!("admin policy: {e}")))?;
+        PolicyExpr::parse(&update.config.reader_policy)
+            .map_err(|e| OrderError::BadConfig(format!("reader policy: {e}")))?;
+        Ok(())
+    }
+
+    /// Checks whether `identity` may receive blocks (`deliver` access).
+    pub fn check_deliver(
+        &self,
+        identity: &fabric_primitives::SerializedIdentity,
+        challenge: &[u8],
+        signature: &[u8],
+    ) -> Result<(), OrderError> {
+        let validated = self
+            .msp
+            .validate_and_verify(identity, challenge, signature)
+            .map_err(OrderError::Identity)?;
+        let orgs: Vec<String> = self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
+        let satisfied = self
+            .reader_policy
+            .evaluate(&orgs, &[self.signer_of(&validated)])
+            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+        if satisfied {
+            Ok(())
+        } else {
+            Err(OrderError::AccessDenied)
+        }
+    }
+
+    /// Applies a validated config update delivered through consensus:
+    /// rebuilds MSPs and policies, updates batch parameters.
+    pub fn apply_config(&mut self, config: ChannelConfig) -> Result<(), OrderError> {
+        self.msp = MspRegistry::from_channel_config(&config).map_err(OrderError::Identity)?;
+        self.writer_policy = PolicyExpr::parse(&config.writer_policy)
+            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+        self.admin_policy = PolicyExpr::parse(&config.admin_policy)
+            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+        self.reader_policy = PolicyExpr::parse(&config.reader_policy)
+            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
+        self.cutter.set_config(config.orderer.batch);
+        self.config = config;
+        Ok(())
+    }
+
+    /// Builds, signs, and appends the next block from `envelopes`.
+    pub fn cut_block(&mut self, envelopes: Vec<Envelope>, signer: &SigningIdentity) -> Block {
+        let number = self.height();
+        let mut block = Block::new(number, self.last_hash(), envelopes);
+        block.metadata.last_config = self.last_config;
+        let header_hash = block.hash();
+        block.metadata.signatures.push(BlockSignature {
+            signer: signer.serialized(),
+            signature: signer.sign(&header_hash).to_bytes().to_vec(),
+        });
+        if block.is_config_block() {
+            self.last_config = number;
+        }
+        self.blocks.push(block.clone());
+        block
+    }
+}

@@ -1,0 +1,194 @@
+//! An in-memory multi-OSN ordering service driver.
+//!
+//! [`OrderingCluster`] wires several [`OrderingNode`]s together over an
+//! in-memory network and exposes the two-call interface of the paper
+//! (Sec. 3.3): `broadcast(tx)` and `deliver(seq)`. It also cross-checks
+//! that every OSN cuts byte-identical blocks — the determinism property the
+//! whole design rests on.
+
+use std::collections::VecDeque;
+
+use fabric_msp::SigningIdentity;
+use fabric_primitives::block::Block;
+use fabric_primitives::config::{ChannelConfig, ConsensusType};
+use fabric_primitives::transaction::Envelope;
+use fabric_primitives::ChannelId;
+
+use crate::node::{ConsensusBackend, OrderingNode, OsnConfig, OsnMessage, OsnOutput};
+use crate::OrderError;
+
+/// A deterministic in-memory ordering service (any backend).
+pub struct OrderingCluster {
+    nodes: Vec<OrderingNode>,
+    network: VecDeque<(u64, u64, OsnMessage)>,
+    /// Round-robin entry point for broadcasts.
+    next_entry: usize,
+    /// Blocks each node has cut, per channel, for determinism checks.
+    cut_log: Vec<Vec<(ChannelId, Block)>>,
+}
+
+impl OrderingCluster {
+    /// Builds a cluster of `n` OSNs with the given consensus type, serving
+    /// the given channels. `identities` supplies one orderer identity per
+    /// node. For Raft/PBFT the consensus is bootstrapped (leader elected)
+    /// before returning.
+    pub fn new(
+        consensus: ConsensusType,
+        identities: Vec<SigningIdentity>,
+        genesis_configs: Vec<ChannelConfig>,
+    ) -> Result<Self, OrderError> {
+        let n = identities.len();
+        assert!(n >= 1);
+        let mut nodes = Vec::with_capacity(n);
+        for (i, identity) in identities.into_iter().enumerate() {
+            let backend = match consensus {
+                ConsensusType::Solo => {
+                    assert_eq!(n, 1, "Solo runs on exactly one OSN");
+                    ConsensusBackend::Solo
+                }
+                ConsensusType::Raft => {
+                    let ids: Vec<u64> = (1..=n as u64).collect();
+                    let peers: Vec<u64> =
+                        ids.iter().copied().filter(|&p| p != i as u64 + 1).collect();
+                    ConsensusBackend::Raft(fabric_raft::RaftNode::new(
+                        i as u64 + 1,
+                        peers,
+                        fabric_raft::RaftConfig::default(),
+                        0xfab,
+                    ))
+                }
+                ConsensusType::Pbft => ConsensusBackend::Pbft(fabric_pbft::PbftNode::new(
+                    i as u64,
+                    n,
+                    fabric_pbft::PbftConfig::default(),
+                )),
+            };
+            nodes.push(OrderingNode::new(
+                i as u64,
+                identity,
+                backend,
+                OsnConfig::default(),
+                genesis_configs.clone(),
+            )?);
+        }
+        let mut cluster = OrderingCluster {
+            nodes,
+            network: VecDeque::new(),
+            next_entry: 0,
+            cut_log: vec![Vec::new(); n],
+        };
+        if consensus == ConsensusType::Raft {
+            // Elect a leader before accepting traffic.
+            for _ in 0..500 {
+                cluster.tick();
+                if cluster
+                    .nodes
+                    .iter()
+                    .any(|node| node.consensus_leader() == Some(node.id()))
+                {
+                    break;
+                }
+            }
+        }
+        Ok(cluster)
+    }
+
+    fn absorb(&mut self, from: u64, outputs: Vec<OsnOutput>) {
+        for output in outputs {
+            match output {
+                OsnOutput::Send { to, message } => self.network.push_back((from, to, message)),
+                OsnOutput::BlockCut { channel, block } => {
+                    self.cut_log[from as usize].push((channel, block));
+                }
+            }
+        }
+    }
+
+    /// Delivers all in-flight OSN messages.
+    pub fn drain(&mut self) {
+        let mut budget = 500_000;
+        while let Some((from, to, message)) = self.network.pop_front() {
+            budget -= 1;
+            assert!(budget > 0, "OSN network did not quiesce");
+            let outputs = self.nodes[to as usize].step(from, message);
+            self.absorb(to, outputs);
+        }
+    }
+
+    /// Advances every OSN's clock one tick and drains the network.
+    pub fn tick(&mut self) {
+        for i in 0..self.nodes.len() {
+            let outputs = self.nodes[i].tick();
+            self.absorb(i as u64, outputs);
+        }
+        self.drain();
+    }
+
+    /// Broadcasts an envelope via the next OSN (round robin), as clients
+    /// connecting to arbitrary OSNs would.
+    pub fn broadcast(&mut self, envelope: Envelope) -> Result<(), OrderError> {
+        let entry = self.next_entry % self.nodes.len();
+        self.next_entry += 1;
+        let outputs = self.nodes[entry].broadcast(envelope)?;
+        self.absorb(entry as u64, outputs);
+        self.drain();
+        Ok(())
+    }
+
+    /// Serves `deliver(seq)` from the given OSN.
+    pub fn deliver_from(&self, osn: usize, channel: &ChannelId, seq: u64) -> Option<Block> {
+        self.nodes[osn].deliver(channel, seq)
+    }
+
+    /// Serves `deliver(seq)` from OSN 0.
+    pub fn deliver(&self, channel: &ChannelId, seq: u64) -> Option<Block> {
+        self.deliver_from(0, channel, seq)
+    }
+
+    /// Chain height at OSN 0.
+    pub fn height(&self, channel: &ChannelId) -> u64 {
+        self.nodes[0].height(channel).unwrap_or(0)
+    }
+
+    /// Access to the nodes (assertions, fault injection in tests).
+    pub fn nodes(&self) -> &[OrderingNode] {
+        &self.nodes
+    }
+
+    /// Asserts every OSN cut an identical block sequence per channel
+    /// (prefix-wise, since some OSNs may lag).
+    pub fn assert_identical_chains(&self, channel: &ChannelId) {
+        let heights: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|n| n.height(channel).unwrap_or(0))
+            .collect();
+        let min_height = *heights.iter().min().expect("at least one node");
+        for seq in 0..min_height {
+            let reference = self.nodes[0]
+                .deliver(channel, seq)
+                .expect("below min height");
+            for node in &self.nodes[1..] {
+                let block = node.deliver(channel, seq).expect("below min height");
+                assert_eq!(
+                    block.header, reference.header,
+                    "OSN {} cut a different block {}",
+                    node.id(),
+                    seq
+                );
+                assert_eq!(block.envelopes, reference.envelopes);
+            }
+        }
+    }
+}
+
+impl OrderingNode {
+    /// The node this OSN believes is the consensus leader/primary, if any.
+    pub fn consensus_leader(&self) -> Option<u64> {
+        match self.backend_ref() {
+            ConsensusBackend::Solo => Some(self.id()),
+            ConsensusBackend::Raft(raft) => raft.leader_hint().map(|id| id - 1),
+            ConsensusBackend::Pbft(pbft) => Some(pbft.primary()),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic block cutting (paper Sec. 4.2).
+//!
+//! A block is cut as soon as one of three conditions holds:
+//!
+//! 1. it contains `max_message_count` transactions;
+//! 2. adding the next transaction would exceed `preferred_max_bytes`
+//!    (a transaction larger than the preferred size forms its own block);
+//! 3. a time-to-cut marker for the pending block number is delivered.
+//!
+//! Conditions 1 and 2 are trivially deterministic given the ordered stream;
+//! condition 3 is made deterministic by routing the timeout *through* the
+//! atomic broadcast: every OSN cuts on the first TTC for a given number, so
+//! all OSNs produce identical blocks.
+
+use fabric_primitives::config::BatchConfig;
+use fabric_primitives::transaction::Envelope;
+use fabric_primitives::wire::Wire;
+
+/// Deterministic batcher for one channel.
+pub struct BlockCutter {
+    config: BatchConfig,
+    pending: Vec<Envelope>,
+    pending_bytes: usize,
+    /// Number the next cut block will carry.
+    next_block: u64,
+}
+
+impl BlockCutter {
+    /// Creates a cutter; `next_block` is the number of the next block to
+    /// cut (1 for a fresh channel whose genesis block is number 0).
+    pub fn new(config: BatchConfig, next_block: u64) -> Self {
+        BlockCutter {
+            config,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            next_block,
+        }
+    }
+
+    /// Updates batching parameters (after a config block).
+    pub fn set_config(&mut self, config: BatchConfig) {
+        self.config = config;
+    }
+
+    /// The block number the next cut will produce.
+    pub fn next_block(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Whether a partially filled batch is pending (drives the TTC timer).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Offers an ordered envelope; returns zero, one, or two cut batches
+    /// (two when an oversized transaction first flushes the pending batch
+    /// and then forms its own block).
+    pub fn ordered(&mut self, envelope: Envelope) -> Vec<Vec<Envelope>> {
+        let size = envelope.wire_size();
+        let mut cuts = Vec::new();
+        let preferred = self.config.preferred_max_bytes as usize;
+
+        if size > preferred {
+            // Oversized: flush whatever is pending, then emit it alone.
+            if !self.pending.is_empty() {
+                cuts.push(self.take_pending());
+            }
+            self.pending.push(envelope);
+            self.pending_bytes = size;
+            cuts.push(self.take_pending());
+            return cuts;
+        }
+        if !self.pending.is_empty() && self.pending_bytes + size > preferred {
+            cuts.push(self.take_pending());
+        }
+        self.pending.push(envelope);
+        self.pending_bytes += size;
+        if self.pending.len() >= self.config.max_message_count as usize {
+            cuts.push(self.take_pending());
+        }
+        cuts
+    }
+
+    /// Handles a delivered time-to-cut for `block`; cuts the pending batch
+    /// if the marker is current (stale markers are ignored).
+    pub fn time_to_cut(&mut self, block: u64) -> Option<Vec<Envelope>> {
+        if block == self.next_block && !self.pending.is_empty() {
+            Some(self.take_pending())
+        } else {
+            None
+        }
+    }
+
+    /// Immediately cuts the pending batch (used before emitting a config
+    /// block, which must sit alone in its own block).
+    pub fn flush(&mut self) -> Option<Vec<Envelope>> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.take_pending())
+        }
+    }
+
+    fn take_pending(&mut self) -> Vec<Envelope> {
+        self.pending_bytes = 0;
+        self.next_block += 1;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Registers an externally produced block (config blocks are cut by the
+    /// service itself, not by batching).
+    pub fn note_external_block(&mut self) {
+        self.next_block += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_primitives::config::ChannelConfig;
+    use fabric_primitives::ids::ChannelId;
+    use fabric_primitives::transaction::EnvelopeContent;
+
+    /// An envelope whose serialized size is roughly `payload` bytes.
+    fn env(payload: usize) -> Envelope {
+        use fabric_primitives::config::{ConsensusType, OrdererConfig, OrgConfig};
+        // Config envelopes are the simplest way to get a size-controllable
+        // payload without building a whole transaction.
+        Envelope {
+            content: EnvelopeContent::Config(fabric_primitives::config::ConfigUpdate {
+                config: ChannelConfig {
+                    channel: ChannelId::new("ch"),
+                    sequence: 0,
+                    orgs: vec![OrgConfig {
+                        msp_id: "x".into(),
+                        root_cert: vec![0u8; payload],
+                    }],
+                    orderer: OrdererConfig {
+                        consensus: ConsensusType::Solo,
+                        addresses: vec![],
+                        batch: BatchConfig::default(),
+                    },
+                    admin_policy: String::new(),
+                    writer_policy: String::new(),
+                    reader_policy: String::new(),
+                },
+                signatures: vec![],
+            }),
+            signature: vec![],
+        }
+    }
+
+    fn cutter(max_count: u32, preferred: u32) -> BlockCutter {
+        BlockCutter::new(
+            BatchConfig {
+                max_message_count: max_count,
+                absolute_max_bytes: 1024 * 1024,
+                preferred_max_bytes: preferred,
+                batch_timeout_ms: 1000,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn cuts_on_message_count() {
+        let mut c = cutter(3, 1_000_000);
+        assert!(c.ordered(env(10)).is_empty());
+        assert!(c.ordered(env(10)).is_empty());
+        let cuts = c.ordered(env(10));
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].len(), 3);
+        assert!(!c.has_pending());
+        assert_eq!(c.next_block(), 2);
+    }
+
+    #[test]
+    fn cuts_on_preferred_bytes() {
+        let mut c = cutter(1000, 1000);
+        assert!(c.ordered(env(400)).is_empty());
+        // Next envelope would push past 1000 bytes: cut first, then pend.
+        let cuts = c.ordered(env(700));
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].len(), 1);
+        assert!(c.has_pending());
+    }
+
+    #[test]
+    fn oversized_tx_forms_own_block() {
+        let mut c = cutter(1000, 500);
+        assert!(c.ordered(env(100)).is_empty());
+        let cuts = c.ordered(env(2000));
+        assert_eq!(cuts.len(), 2);
+        assert_eq!(cuts[0].len(), 1, "pending flushed first");
+        assert_eq!(cuts[1].len(), 1, "oversized tx alone");
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn oversized_tx_with_empty_pending() {
+        let mut c = cutter(1000, 500);
+        let cuts = c.ordered(env(2000));
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].len(), 1);
+    }
+
+    #[test]
+    fn time_to_cut_flushes_current_block() {
+        let mut c = cutter(1000, 1_000_000);
+        c.ordered(env(10));
+        c.ordered(env(10));
+        let batch = c.time_to_cut(1).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(c.next_block(), 2);
+    }
+
+    #[test]
+    fn stale_time_to_cut_ignored() {
+        let mut c = cutter(2, 1_000_000);
+        c.ordered(env(10));
+        c.ordered(env(10)); // cut happens here; next_block = 2
+        c.ordered(env(10));
+        assert!(c.time_to_cut(1).is_none(), "stale TTC for block 1");
+        assert!(c.has_pending());
+        assert!(c.time_to_cut(2).is_some());
+    }
+
+    #[test]
+    fn ttc_with_nothing_pending_ignored() {
+        let mut c = cutter(2, 1_000_000);
+        assert!(c.time_to_cut(1).is_none());
+    }
+
+    #[test]
+    fn flush_cuts_pending() {
+        let mut c = cutter(100, 1_000_000);
+        assert!(c.flush().is_none());
+        c.ordered(env(10));
+        assert_eq!(c.flush().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        // Two cutters fed the same stream cut identical batches.
+        let stream: Vec<Envelope> = (0..50).map(|i| env(100 + (i % 7) * 53)).collect();
+        let run = |mut c: BlockCutter| {
+            let mut batches = Vec::new();
+            for e in stream.clone() {
+                batches.extend(c.ordered(e));
+            }
+            batches
+        };
+        let a = run(cutter(10, 800));
+        let b = run(cutter(10, 800));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Items carried by the atomic-broadcast stream.
+//!
+//! The consensus layer (Solo queue, Raft log, PBFT sequence) totally orders
+//! opaque byte strings; the ordering service tags each with its channel and
+//! kind. Besides transactions, the stream carries the *time-to-cut* markers
+//! of the paper's deterministic batching protocol (Sec. 4.2): when an OSN's
+//! batch timer fires it broadcasts a TTC for the block number it intends to
+//! cut, and every OSN cuts that block on the *first* TTC it delivers.
+
+use fabric_primitives::transaction::Envelope;
+use fabric_primitives::wire::{Decoder, Encoder, Wire, WireError};
+use fabric_primitives::ChannelId;
+
+/// One totally-ordered item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderedItem {
+    /// A transaction (or config) envelope for a channel.
+    Tx {
+        /// Target channel.
+        channel: ChannelId,
+        /// The envelope.
+        envelope: Envelope,
+    },
+    /// A time-to-cut marker for `block` on `channel`.
+    TimeToCut {
+        /// Target channel.
+        channel: ChannelId,
+        /// The block number the sender intends to cut.
+        block: u64,
+    },
+}
+
+impl OrderedItem {
+    /// The channel this item belongs to.
+    pub fn channel(&self) -> &ChannelId {
+        match self {
+            OrderedItem::Tx { channel, .. } | OrderedItem::TimeToCut { channel, .. } => channel,
+        }
+    }
+}
+
+impl Wire for OrderedItem {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            OrderedItem::Tx { channel, envelope } => {
+                enc.put_u8(0);
+                channel.encode(enc);
+                envelope.encode(enc);
+            }
+            OrderedItem::TimeToCut { channel, block } => {
+                enc.put_u8(1);
+                channel.encode(enc);
+                enc.put_u64(*block);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match dec.get_u8()? {
+            0 => OrderedItem::Tx {
+                channel: ChannelId::decode(dec)?,
+                envelope: Envelope::decode(dec)?,
+            },
+            1 => OrderedItem::TimeToCut {
+                channel: ChannelId::decode(dec)?,
+                block: dec.get_u64()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttc_round_trip() {
+        let item = OrderedItem::TimeToCut {
+            channel: ChannelId::new("ch"),
+            block: 7,
+        };
+        assert_eq!(OrderedItem::from_wire(&item.to_wire()).unwrap(), item);
+        assert_eq!(item.channel().as_str(), "ch");
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(OrderedItem::from_wire(&[9]).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Reusable fixtures for building test networks: CAs, identities, channel
+//! configs, and signed envelopes.
+//!
+//! Used by this crate's tests, the peer/client crates, integration tests,
+//! and the benchmark harness — so it lives in the library (it contains no
+//! test-only hacks, just deterministic setup helpers).
+
+use fabric_msp::{CertificateAuthority, Role, SigningIdentity};
+use fabric_primitives::config::{
+    BatchConfig, ChannelConfig, ConsensusType, OrdererConfig, OrgConfig,
+};
+use fabric_primitives::ids::{ChaincodeId, ChannelId, SerializedIdentity, TxId};
+use fabric_primitives::rwset::TxReadWriteSet;
+use fabric_primitives::transaction::{
+    ChaincodeResponse, Endorsement, Envelope, EnvelopeContent, ProposalPayload,
+    ProposalResponsePayload, Transaction,
+};
+use fabric_primitives::wire::Wire;
+
+/// A ready-made test network: per-org CAs plus orderer org, identities, and
+/// a channel configuration.
+pub struct TestNet {
+    /// The channel id.
+    pub channel: ChannelId,
+    /// One CA per application org, in org order.
+    pub org_cas: Vec<CertificateAuthority>,
+    /// The orderer org's CA.
+    pub orderer_ca: CertificateAuthority,
+    /// The channel genesis configuration.
+    pub genesis: ChannelConfig,
+}
+
+impl TestNet {
+    /// Builds a network with `org_names` application orgs plus an
+    /// `OrdererOrg`, with the given consensus type and OSN count.
+    pub fn new(org_names: &[&str], consensus: ConsensusType, osn_count: usize) -> Self {
+        Self::with_batch(org_names, consensus, osn_count, BatchConfig::default())
+    }
+
+    /// Like [`TestNet::new`] with explicit batch parameters.
+    pub fn with_batch(
+        org_names: &[&str],
+        consensus: ConsensusType,
+        osn_count: usize,
+        batch: BatchConfig,
+    ) -> Self {
+        let channel = ChannelId::new("testchannel");
+        let org_cas: Vec<CertificateAuthority> = org_names
+            .iter()
+            .map(|name| {
+                CertificateAuthority::new(
+                    format!("ca.{name}"),
+                    format!("{name}MSP"),
+                    format!("seed-{name}").as_bytes(),
+                )
+            })
+            .collect();
+        let orderer_ca = CertificateAuthority::new("ca.orderer", "OrdererMSP", b"seed-orderer");
+        let mut orgs: Vec<OrgConfig> = org_cas
+            .iter()
+            .map(|ca| OrgConfig {
+                msp_id: ca.msp_id().to_string(),
+                root_cert: ca.root_cert().to_wire(),
+            })
+            .collect();
+        orgs.push(OrgConfig {
+            msp_id: "OrdererMSP".into(),
+            root_cert: orderer_ca.root_cert().to_wire(),
+        });
+        let genesis = ChannelConfig {
+            channel: channel.clone(),
+            sequence: 0,
+            orgs,
+            orderer: OrdererConfig {
+                consensus,
+                addresses: (0..osn_count).map(|i| format!("osn{i}")).collect(),
+                batch,
+            },
+            admin_policy: "MAJORITY(admins)".into(),
+            writer_policy: "ANY(members)".into(),
+            reader_policy: "ANY(members)".into(),
+        };
+        TestNet {
+            channel,
+            org_cas,
+            orderer_ca,
+            genesis,
+        }
+    }
+
+    /// Issues a client identity in org `org_index`.
+    pub fn client(&self, org_index: usize, name: &str) -> SigningIdentity {
+        fabric_msp::issue_identity(
+            &self.org_cas[org_index],
+            name,
+            Role::Client,
+            format!("client-{org_index}-{name}").as_bytes(),
+        )
+    }
+
+    /// Issues a peer identity in org `org_index`.
+    pub fn peer(&self, org_index: usize, name: &str) -> SigningIdentity {
+        fabric_msp::issue_identity(
+            &self.org_cas[org_index],
+            name,
+            Role::Peer,
+            format!("peer-{org_index}-{name}").as_bytes(),
+        )
+    }
+
+    /// Issues an admin identity in org `org_index`.
+    pub fn admin(&self, org_index: usize, name: &str) -> SigningIdentity {
+        fabric_msp::issue_identity(
+            &self.org_cas[org_index],
+            name,
+            Role::Admin,
+            format!("admin-{org_index}-{name}").as_bytes(),
+        )
+    }
+
+    /// Issues the OSN identities.
+    pub fn orderers(&self, count: usize) -> Vec<SigningIdentity> {
+        (0..count)
+            .map(|i| {
+                fabric_msp::issue_identity(
+                    &self.orderer_ca,
+                    &format!("osn{i}"),
+                    Role::Orderer,
+                    format!("osn-{i}").as_bytes(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Builds a signed transaction envelope carrying an explicit rw-set, with
+/// no endorsements (sufficient wherever only broadcast access control and
+/// ordering are under test).
+pub fn make_envelope(
+    client: &SigningIdentity,
+    channel: &ChannelId,
+    nonce: [u8; 32],
+    rwset: TxReadWriteSet,
+) -> Envelope {
+    make_envelope_endorsed(client, channel, nonce, rwset, Vec::new())
+}
+
+/// Builds a signed transaction envelope with explicit endorsements.
+pub fn make_envelope_endorsed(
+    client: &SigningIdentity,
+    channel: &ChannelId,
+    nonce: [u8; 32],
+    rwset: TxReadWriteSet,
+    endorsements: Vec<Endorsement>,
+) -> Envelope {
+    let creator: SerializedIdentity = client.serialized();
+    let chaincode = ChaincodeId::new("testcc", "1.0");
+    let tx_id = TxId::derive(&creator.to_wire(), &nonce);
+    let tx = Transaction {
+        channel: channel.clone(),
+        creator,
+        nonce,
+        proposal_payload: ProposalPayload {
+            chaincode: chaincode.clone(),
+            function: "invoke".into(),
+            args: vec![],
+        },
+        response_payload: ProposalResponsePayload {
+            tx_id,
+            chaincode,
+            rwset,
+            response: ChaincodeResponse::ok(vec![]),
+        },
+        endorsements,
+    };
+    let content = EnvelopeContent::Transaction(tx);
+    let signature = client
+        .sign(&Envelope::signing_bytes(&content))
+        .to_bytes()
+        .to_vec();
+    Envelope { content, signature }
+}
+
+/// Builds a signed envelope with a padded rw-set of roughly `extra_bytes`
+/// (for block-size-driven tests and benches).
+pub fn make_padded_envelope(
+    client: &SigningIdentity,
+    channel: &ChannelId,
+    nonce: [u8; 32],
+    extra_bytes: usize,
+) -> Envelope {
+    use fabric_primitives::rwset::{KeyWrite, NsReadWriteSet};
+    let rwset = TxReadWriteSet::single(NsReadWriteSet {
+        namespace: "testcc".into(),
+        reads: vec![],
+        range_queries: vec![],
+        writes: vec![KeyWrite {
+            key: format!("k{}", u64::from_le_bytes(nonce[..8].try_into().unwrap())),
+            value: Some(vec![0xab; extra_bytes]),
+        }],
+    });
+    make_envelope(client, channel, nonce, rwset)
+}

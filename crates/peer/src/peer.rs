@@ -1,0 +1,237 @@
+//! The peer node: ledger + endorser + committer wired together (paper
+//! Fig. 5).
+//!
+//! A peer joins a channel from its genesis block, optionally endorses
+//! proposals (if it is an endorsing peer for some chaincode), validates
+//! and commits every delivered block, and serves the query functions that
+//! Fabric exposes through the CSCC/QSCC system chaincodes (channel config
+//! and ledger queries).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use fabric_chaincode::{
+    Chaincode, ChaincodeRegistry, ChaincodeRuntime, Lscc, RuntimeConfig, Vscc, LSCC_NAMESPACE,
+};
+use fabric_kvstore::backend::Backend;
+use fabric_ledger::Ledger;
+use fabric_msp::SigningIdentity;
+use fabric_primitives::block::Block;
+use fabric_primitives::ids::{TxId, TxValidationCode};
+use fabric_primitives::transaction::{EnvelopeContent, ProposalResponse, SignedProposal};
+use fabric_primitives::ChannelId;
+
+use crate::committer::{Committer, ValidationTiming};
+use crate::endorser::Endorser;
+use crate::view::ChannelView;
+use crate::PeerError;
+
+/// Peer construction options.
+pub struct PeerConfig {
+    /// VSCC worker-pool width (the Fig. 7 "vCPUs" knob).
+    pub vscc_parallelism: usize,
+    /// Chaincode execution policy.
+    pub runtime: RuntimeConfig,
+    /// Whether ledger writes are fsync'd (SSD vs RAM-disk experiments).
+    pub sync_writes: bool,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            vscc_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            runtime: RuntimeConfig::default(),
+            sync_writes: false,
+        }
+    }
+}
+
+/// A Fabric peer.
+pub struct Peer {
+    identity: SigningIdentity,
+    channel: ChannelId,
+    ledger: Ledger,
+    view: Arc<RwLock<ChannelView>>,
+    endorser: Endorser,
+    committer: Committer,
+    runtime: Arc<ChaincodeRuntime>,
+}
+
+impl Peer {
+    /// Creates a peer and joins it to the channel whose genesis block is
+    /// given (the genesis block carries the initial configuration).
+    pub fn join(
+        identity: SigningIdentity,
+        genesis: &Block,
+        backend: Arc<dyn Backend>,
+        config: PeerConfig,
+    ) -> Result<Self, PeerError> {
+        if !genesis.is_config_block() || genesis.header.number != 0 {
+            return Err(PeerError::BadBlock("not a genesis config block".into()));
+        }
+        let channel_config = match &genesis.envelopes[0].content {
+            EnvelopeContent::Config(update) => update.config.clone(),
+            EnvelopeContent::Transaction(_) => {
+                return Err(PeerError::BadBlock("genesis holds no config".into()))
+            }
+        };
+        let channel = channel_config.channel.clone();
+        let view = Arc::new(RwLock::new(ChannelView::new(channel_config)?));
+
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install(LSCC_NAMESPACE, Arc::new(Lscc));
+        let runtime = Arc::new(ChaincodeRuntime::new(registry, config.runtime));
+
+        let ledger = Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?;
+        let peer = Peer {
+            endorser: Endorser::new(identity.clone(), runtime.clone(), view.clone()),
+            committer: Committer::new(view.clone(), config.vscc_parallelism),
+            identity,
+            channel,
+            ledger,
+            view,
+            runtime,
+        };
+        // Commit the genesis block if this is a fresh ledger (recovery may
+        // already have it).
+        if peer.ledger.height() == 0 {
+            let mut genesis = genesis.clone();
+            genesis.metadata.validation = vec![TxValidationCode::Valid];
+            peer.ledger.commit(&genesis).map_err(PeerError::Ledger)?;
+        }
+        Ok(peer)
+    }
+
+    /// This peer's identity.
+    pub fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// The channel this peer serves.
+    pub fn channel(&self) -> &ChannelId {
+        &self.channel
+    }
+
+    /// Installs a chaincode binary on this peer (endorsing peers only need
+    /// the chaincodes they endorse, Fig. 3).
+    pub fn install_chaincode(&self, name: impl Into<String>, chaincode: Arc<dyn Chaincode>) {
+        self.runtime.registry().install(name, chaincode);
+    }
+
+    /// Registers a custom VSCC for a chaincode (static configuration).
+    pub fn register_vscc(&self, chaincode: impl Into<String>, vscc: Arc<dyn Vscc>) {
+        self.committer.register_vscc(chaincode, vscc);
+    }
+
+    /// Endorses a signed proposal (execution phase).
+    pub fn process_proposal(
+        &self,
+        proposal: &SignedProposal,
+    ) -> Result<ProposalResponse, PeerError> {
+        self.endorser.process_proposal(&self.ledger, proposal)
+    }
+
+    /// Validates and commits a delivered block (validation phase), after
+    /// verifying its integrity and orderer signature. On a committed
+    /// config block, the peer's channel view is updated.
+    pub fn commit_block(
+        &self,
+        block: &Block,
+    ) -> Result<(Vec<TxValidationCode>, ValidationTiming), PeerError> {
+        if block.header.number != self.ledger.height() {
+            return Err(PeerError::BadBlock(format!(
+                "expected block {}, got {}",
+                self.ledger.height(),
+                block.header.number
+            )));
+        }
+        self.committer.verify_block(block)?;
+        let (flags, timing) = self.committer.validate_and_commit(&self.ledger, block)?;
+        // Apply a committed valid config block to the channel view.
+        if block.is_config_block() && flags.first() == Some(&TxValidationCode::Valid) {
+            if let EnvelopeContent::Config(update) = &block.envelopes[0].content {
+                *self.view.write() = ChannelView::new(update.config.clone())?;
+            }
+        }
+        Ok((flags, timing))
+    }
+
+    /// Current ledger height.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// QSCC-style query: block by number.
+    pub fn get_block(&self, number: u64) -> Result<Option<Block>, PeerError> {
+        self.ledger.get_block(number).map_err(PeerError::Ledger)
+    }
+
+    /// QSCC-style query: the block containing a transaction, with its
+    /// validity flag.
+    pub fn get_transaction(
+        &self,
+        tx_id: &TxId,
+    ) -> Result<Option<(Block, u32, TxValidationCode)>, PeerError> {
+        let Some(location) = self.ledger.tx_location(tx_id) else {
+            return Ok(None);
+        };
+        let block = self
+            .ledger
+            .get_block(location.block_num)
+            .map_err(PeerError::Ledger)?
+            .expect("indexed block exists");
+        let flag = block
+            .metadata
+            .validation
+            .get(location.tx_index as usize)
+            .copied()
+            .unwrap_or(TxValidationCode::NotValidated);
+        Ok(Some((block, location.tx_index, flag)))
+    }
+
+    /// State query (world state, latest committed value).
+    pub fn get_state(&self, namespace: &str, key: &str) -> Result<Option<Vec<u8>>, PeerError> {
+        self.ledger.get_state(namespace, key).map_err(PeerError::Ledger)
+    }
+
+    /// State range query over the latest committed state.
+    pub fn scan_state(
+        &self,
+        namespace: &str,
+        start: &str,
+        end: &str,
+    ) -> Result<Vec<(String, Vec<u8>)>, PeerError> {
+        self.ledger
+            .scan_state(namespace, start, end)
+            .map_err(PeerError::Ledger)
+    }
+
+    /// QSCC-style query: the write history of a state key.
+    pub fn get_key_history(
+        &self,
+        namespace: &str,
+        key: &str,
+    ) -> Result<Vec<fabric_ledger::HistoryEntry>, PeerError> {
+        self.ledger
+            .key_history(namespace, key)
+            .map_err(PeerError::Ledger)
+    }
+
+    /// CSCC-style query: the current channel configuration.
+    pub fn channel_config(&self) -> fabric_primitives::config::ChannelConfig {
+        self.view.read().config.clone()
+    }
+
+    /// The ledger (for audit tooling and benches).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Changes the VSCC parallelism (Fig. 7 experiments).
+    pub fn set_vscc_parallelism(&mut self, n: usize) {
+        self.committer.set_vscc_parallelism(n);
+    }
+}

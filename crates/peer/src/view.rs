@@ -1,0 +1,27 @@
+//! The peer's view of a channel's configuration.
+
+use fabric_msp::MspRegistry;
+use fabric_primitives::config::ChannelConfig;
+
+use crate::PeerError;
+
+/// Materialized channel configuration: the raw config plus the MSP
+/// federation and org list derived from it. Rebuilt whenever a config
+/// block commits.
+pub struct ChannelView {
+    /// The current channel configuration.
+    pub config: ChannelConfig,
+    /// MSP federation over the member orgs.
+    pub msp: MspRegistry,
+    /// Member MSP ids (policy evaluation domain).
+    pub orgs: Vec<String>,
+}
+
+impl ChannelView {
+    /// Builds a view from a configuration.
+    pub fn new(config: ChannelConfig) -> Result<Self, PeerError> {
+        let msp = MspRegistry::from_channel_config(&config).map_err(PeerError::Identity)?;
+        let orgs = config.orgs.iter().map(|o| o.msp_id.clone()).collect();
+        Ok(ChannelView { config, msp, orgs })
+    }
+}

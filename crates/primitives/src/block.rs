@@ -1,0 +1,318 @@
+//! Blocks and the hash chain (paper Sec. 3.3 and 4.4).
+//!
+//! The ordering service batches envelopes into blocks and chains them: each
+//! header carries the hash of the previous header and a commitment to its
+//! own payload (a domain-separated Merkle root over the serialized
+//! envelopes). Peers verify both links when receiving blocks from the
+//! ordering service or via gossip.
+//!
+//! Block *metadata* — the validation bit mask filled in by each peer during
+//! the validation phase, the orderer's signature, and the last-config
+//! pointer — is deliberately excluded from the data hash: the orderer signs
+//! the header + its metadata, while validation flags are per-peer local
+//! state persisted alongside the block (paper Sec. 3.4).
+
+use fabric_crypto::sha256::Sha256;
+use fabric_crypto::Digest;
+
+use crate::ids::TxValidationCode;
+use crate::transaction::Envelope;
+use crate::wire::{Decoder, Encoder, Wire, WireError};
+
+/// A block header: sequence number, previous-header hash, and payload
+/// commitment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Block sequence number (0 = genesis).
+    pub number: u64,
+    /// Hash of the previous block's header (zeroes for genesis).
+    pub previous_hash: Digest,
+    /// Merkle root over the serialized envelopes in this block.
+    pub data_hash: Digest,
+}
+
+impl BlockHeader {
+    /// Computes this header's hash, the value chained into the next block.
+    pub fn hash(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&self.number.to_le_bytes());
+        h.update(&self.previous_hash);
+        h.update(&self.data_hash);
+        h.finalize()
+    }
+}
+
+impl Wire for BlockHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.number);
+        enc.put_raw(&self.previous_hash);
+        enc.put_raw(&self.data_hash);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(BlockHeader {
+            number: dec.get_u64()?,
+            previous_hash: dec.get_array32()?,
+            data_hash: dec.get_array32()?,
+        })
+    }
+}
+
+/// An orderer's signature over a block header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSignature {
+    /// The signing orderer's identity.
+    pub signer: crate::ids::SerializedIdentity,
+    /// Signature over the header hash.
+    pub signature: Vec<u8>,
+}
+
+impl Wire for BlockSignature {
+    fn encode(&self, enc: &mut Encoder) {
+        self.signer.encode(enc);
+        enc.put_bytes(&self.signature);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(BlockSignature {
+            signer: crate::ids::SerializedIdentity::decode(dec)?,
+            signature: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Per-block metadata outside the data hash.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BlockMetadata {
+    /// Validation outcome for each transaction, in block order. Empty until
+    /// the peer's validation phase fills it in (paper Sec. 3.4 bit mask,
+    /// generalized to carry the failure reason).
+    pub validation: Vec<TxValidationCode>,
+    /// Ordering-service signatures over the header (paper Sec. 4.3: "the
+    /// blocks are signed by the ordering service").
+    pub signatures: Vec<BlockSignature>,
+    /// Sequence number of the most recent configuration block at the time
+    /// this block was cut.
+    pub last_config: u64,
+}
+
+impl Wire for BlockMetadata {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.validation, |e, v| v.encode(e));
+        enc.put_seq(&self.signatures, |e, s| s.encode(e));
+        enc.put_u64(self.last_config);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(BlockMetadata {
+            validation: dec.get_seq(TxValidationCode::decode)?,
+            signatures: dec.get_seq(BlockSignature::decode)?,
+            last_config: dec.get_u64()?,
+        })
+    }
+}
+
+/// A block: header, ordered envelopes, and metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The chained header.
+    pub header: BlockHeader,
+    /// The ordered transactions (or a single config envelope).
+    pub envelopes: Vec<Envelope>,
+    /// Signatures, validation flags, last-config pointer.
+    pub metadata: BlockMetadata,
+}
+
+impl Block {
+    /// Computes the payload commitment for a list of envelopes.
+    pub fn compute_data_hash(envelopes: &[Envelope]) -> Digest {
+        let serialized: Vec<Vec<u8>> = envelopes.iter().map(|e| e.to_wire()).collect();
+        fabric_crypto::merkle::root(&serialized)
+    }
+
+    /// Assembles a block with a correct data hash and empty metadata.
+    pub fn new(number: u64, previous_hash: Digest, envelopes: Vec<Envelope>) -> Block {
+        let data_hash = Self::compute_data_hash(&envelopes);
+        Block {
+            header: BlockHeader {
+                number,
+                previous_hash,
+                data_hash,
+            },
+            envelopes,
+            metadata: BlockMetadata::default(),
+        }
+    }
+
+    /// This block's header hash.
+    pub fn hash(&self) -> Digest {
+        self.header.hash()
+    }
+
+    /// Verifies that `data_hash` matches the envelopes actually carried.
+    pub fn verify_data_hash(&self) -> bool {
+        Self::compute_data_hash(&self.envelopes) == self.header.data_hash
+    }
+
+    /// Verifies the chain link from `previous` to `self`: consecutive
+    /// numbers and matching previous-hash (the "hash chain integrity" and
+    /// "no skipping" properties of paper Sec. 3.3).
+    pub fn follows(&self, previous: &Block) -> bool {
+        self.header.number == previous.header.number + 1
+            && self.header.previous_hash == previous.hash()
+    }
+
+    /// Returns `true` if this is a configuration block (exactly one config
+    /// envelope; config blocks contain no other transactions).
+    pub fn is_config_block(&self) -> bool {
+        self.envelopes.len() == 1 && self.envelopes[0].is_config()
+    }
+}
+
+impl Wire for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        self.header.encode(enc);
+        enc.put_seq(&self.envelopes, |e, x| x.encode(e));
+        self.metadata.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Block {
+            header: BlockHeader::decode(dec)?,
+            envelopes: dec.get_seq(Envelope::decode)?,
+            metadata: BlockMetadata::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchConfig, ChannelConfig, ConfigUpdate, ConsensusType, OrdererConfig};
+    use crate::ids::{ChaincodeId, ChannelId, SerializedIdentity};
+    use crate::rwset::TxReadWriteSet;
+    use crate::transaction::{
+        ChaincodeResponse, EnvelopeContent, ProposalPayload, ProposalResponsePayload, Transaction,
+    };
+
+    fn tx_envelope(n: u8) -> Envelope {
+        let creator = SerializedIdentity::new("Org1MSP", vec![n; 32]);
+        let tx = Transaction {
+            channel: ChannelId::new("ch1"),
+            creator: creator.clone(),
+            nonce: [n; 32],
+            proposal_payload: ProposalPayload {
+                chaincode: ChaincodeId::new("cc", "1"),
+                function: "f".into(),
+                args: vec![],
+            },
+            response_payload: ProposalResponsePayload {
+                tx_id: crate::ids::TxId::derive(&creator.to_wire(), &[n; 32]),
+                chaincode: ChaincodeId::new("cc", "1"),
+                rwset: TxReadWriteSet::default(),
+                response: ChaincodeResponse::ok(vec![]),
+            },
+            endorsements: vec![],
+        };
+        Envelope {
+            content: EnvelopeContent::Transaction(tx),
+            signature: vec![n; 64],
+        }
+    }
+
+    fn config_envelope() -> Envelope {
+        let cfg = ChannelConfig {
+            channel: ChannelId::new("ch1"),
+            sequence: 1,
+            orgs: vec![],
+            orderer: OrdererConfig {
+                consensus: ConsensusType::Solo,
+                addresses: vec!["osn0".into()],
+                batch: BatchConfig::default(),
+            },
+            admin_policy: "ANY(admins)".into(),
+            writer_policy: "ANY(members)".into(),
+            reader_policy: "ANY(members)".into(),
+        };
+        Envelope {
+            content: EnvelopeContent::Config(ConfigUpdate {
+                config: cfg,
+                signatures: vec![],
+            }),
+            signature: vec![],
+        }
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut b = Block::new(3, [9u8; 32], vec![tx_envelope(1), tx_envelope(2)]);
+        b.metadata.validation = vec![TxValidationCode::Valid, TxValidationCode::MvccReadConflict];
+        b.metadata.last_config = 1;
+        assert_eq!(Block::from_wire(&b.to_wire()).unwrap(), b);
+    }
+
+    #[test]
+    fn data_hash_verifies() {
+        let b = Block::new(0, [0u8; 32], vec![tx_envelope(1)]);
+        assert!(b.verify_data_hash());
+    }
+
+    #[test]
+    fn tampered_payload_detected() {
+        let mut b = Block::new(0, [0u8; 32], vec![tx_envelope(1)]);
+        b.envelopes.push(tx_envelope(2));
+        assert!(!b.verify_data_hash());
+    }
+
+    #[test]
+    fn chain_links() {
+        let b0 = Block::new(0, [0u8; 32], vec![tx_envelope(1)]);
+        let b1 = Block::new(1, b0.hash(), vec![tx_envelope(2)]);
+        assert!(b1.follows(&b0));
+        // Wrong number.
+        let b2 = Block::new(3, b1.hash(), vec![]);
+        assert!(!b2.follows(&b1));
+        // Wrong hash.
+        let b3 = Block::new(2, b0.hash(), vec![]);
+        assert!(!b3.follows(&b1));
+    }
+
+    #[test]
+    fn header_hash_covers_all_fields() {
+        let h = BlockHeader {
+            number: 5,
+            previous_hash: [1u8; 32],
+            data_hash: [2u8; 32],
+        };
+        let mut h2 = h;
+        h2.number = 6;
+        assert_ne!(h.hash(), h2.hash());
+        let mut h3 = h;
+        h3.previous_hash[0] ^= 1;
+        assert_ne!(h.hash(), h3.hash());
+        let mut h4 = h;
+        h4.data_hash[0] ^= 1;
+        assert_ne!(h.hash(), h4.hash());
+    }
+
+    #[test]
+    fn metadata_not_in_data_hash() {
+        let mut b = Block::new(0, [0u8; 32], vec![tx_envelope(1)]);
+        let hash_before = b.header.data_hash;
+        b.metadata.validation = vec![TxValidationCode::Valid];
+        assert_eq!(Block::compute_data_hash(&b.envelopes), hash_before);
+    }
+
+    #[test]
+    fn config_block_detection() {
+        let cb = Block::new(1, [0u8; 32], vec![config_envelope()]);
+        assert!(cb.is_config_block());
+        let normal = Block::new(1, [0u8; 32], vec![tx_envelope(1)]);
+        assert!(!normal.is_config_block());
+        let mixed = Block::new(1, [0u8; 32], vec![config_envelope(), tx_envelope(1)]);
+        assert!(!mixed.is_config_block());
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        let b = Block::new(7, [3u8; 32], vec![]);
+        assert_eq!(Block::from_wire(&b.to_wire()).unwrap(), b);
+        assert!(b.verify_data_hash());
+    }
+}

@@ -1,0 +1,326 @@
+//! Identifiers and small shared enums used across the system.
+
+use fabric_crypto::Digest;
+
+use crate::wire::{Decoder, Encoder, Wire, WireError};
+
+/// A channel identifier (each channel is one logical blockchain, Sec. 3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub String);
+
+impl ChannelId {
+    /// Creates a channel id from any string-like value.
+    pub fn new(s: impl Into<String>) -> Self {
+        ChannelId(s.into())
+    }
+
+    /// Returns the id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl core::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Wire for ChannelId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_string(&self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ChannelId(dec.get_string()?))
+    }
+}
+
+/// The name/version pair identifying a deployed chaincode.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ChaincodeId {
+    /// Chaincode name, unique per channel.
+    pub name: String,
+    /// Deployed version string.
+    pub version: String,
+}
+
+impl ChaincodeId {
+    /// Creates a chaincode id.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        ChaincodeId {
+            name: name.into(),
+            version: version.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ChaincodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.name, self.version)
+    }
+}
+
+impl Wire for ChaincodeId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_string(&self.name);
+        enc.put_string(&self.version);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ChaincodeId {
+            name: dec.get_string()?,
+            version: dec.get_string()?,
+        })
+    }
+}
+
+/// A transaction identifier, derived as `SHA-256(creator || nonce)`
+/// (paper Sec. 3.2: "a transaction identifier derived from the client
+/// identifier and the nonce").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub Digest);
+
+impl TxId {
+    /// Derives a transaction id from the creator's serialized identity and
+    /// the per-transaction nonce.
+    pub fn derive(creator_bytes: &[u8], nonce: &[u8; 32]) -> Self {
+        TxId(fabric_crypto::sha256::digest2(creator_bytes, nonce))
+    }
+
+    /// Renders the id as hex.
+    pub fn to_hex(&self) -> String {
+        fabric_crypto::hex(&self.0)
+    }
+}
+
+impl core::fmt::Debug for TxId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "TxId({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl Wire for TxId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_raw(&self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(TxId(dec.get_array32()?))
+    }
+}
+
+/// The version of a key in the versioned state store: the coordinates of the
+/// transaction that last wrote it (paper Sec. 4.4).
+///
+/// Versions are unique and monotonically increasing because blocks and
+/// transactions-within-blocks are totally ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Version {
+    /// Block sequence number of the writing transaction.
+    pub block_num: u64,
+    /// Index of the writing transaction within its block.
+    pub tx_num: u32,
+}
+
+impl Version {
+    /// Creates a version from block and transaction coordinates.
+    pub fn new(block_num: u64, tx_num: u32) -> Self {
+        Version { block_num, tx_num }
+    }
+}
+
+impl Wire for Version {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.block_num);
+        enc.put_u32(self.tx_num);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Version {
+            block_num: dec.get_u64()?,
+            tx_num: dec.get_u32()?,
+        })
+    }
+}
+
+/// Outcome of validating one transaction within a block.
+///
+/// Recorded in the block metadata bit mask (paper Sec. 3.4): the ledger keeps
+/// invalid transactions for audit, marked with the reason they failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxValidationCode {
+    /// The transaction passed all validation stages.
+    Valid,
+    /// The endorsement policy was not satisfied (VSCC stage).
+    EndorsementPolicyFailure,
+    /// A readset version no longer matched the current state (MVCC stage).
+    MvccReadConflict,
+    /// A range-query result hash no longer matched (phantom read).
+    PhantomReadConflict,
+    /// A signature on the transaction or an endorsement was invalid.
+    BadSignature,
+    /// The same transaction id was already committed.
+    DuplicateTxId,
+    /// The creator was not authorized on this channel.
+    Unauthorized,
+    /// The transaction was structurally malformed.
+    BadPayload,
+    /// A configuration transaction failed validation.
+    InvalidConfig,
+    /// Not yet validated (transient state; never persisted).
+    NotValidated,
+}
+
+impl TxValidationCode {
+    /// Returns `true` for [`TxValidationCode::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, TxValidationCode::Valid)
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            TxValidationCode::Valid => 0,
+            TxValidationCode::EndorsementPolicyFailure => 1,
+            TxValidationCode::MvccReadConflict => 2,
+            TxValidationCode::PhantomReadConflict => 3,
+            TxValidationCode::BadSignature => 4,
+            TxValidationCode::DuplicateTxId => 5,
+            TxValidationCode::Unauthorized => 6,
+            TxValidationCode::BadPayload => 7,
+            TxValidationCode::InvalidConfig => 8,
+            TxValidationCode::NotValidated => 255,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => TxValidationCode::Valid,
+            1 => TxValidationCode::EndorsementPolicyFailure,
+            2 => TxValidationCode::MvccReadConflict,
+            3 => TxValidationCode::PhantomReadConflict,
+            4 => TxValidationCode::BadSignature,
+            5 => TxValidationCode::DuplicateTxId,
+            6 => TxValidationCode::Unauthorized,
+            7 => TxValidationCode::BadPayload,
+            8 => TxValidationCode::InvalidConfig,
+            255 => TxValidationCode::NotValidated,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for TxValidationCode {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.to_byte());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Self::from_byte(dec.get_u8()?)
+    }
+}
+
+/// A node's serialized identity: MSP id plus certificate bytes.
+///
+/// This mirrors Fabric's `SerializedIdentity` proto. The `msp` crate knows
+/// how to interpret `cert_bytes`; primitives only carries them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SerializedIdentity {
+    /// The MSP (organization) that issued this identity.
+    pub msp_id: String,
+    /// Serialized certificate.
+    pub cert_bytes: Vec<u8>,
+}
+
+impl SerializedIdentity {
+    /// Creates a serialized identity.
+    pub fn new(msp_id: impl Into<String>, cert_bytes: Vec<u8>) -> Self {
+        SerializedIdentity {
+            msp_id: msp_id.into(),
+            cert_bytes,
+        }
+    }
+}
+
+impl Wire for SerializedIdentity {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_string(&self.msp_id);
+        enc.put_bytes(&self.cert_bytes);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SerializedIdentity {
+            msp_id: dec.get_string()?,
+            cert_bytes: dec.get_bytes()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_id_round_trip() {
+        let id = ChannelId::new("payments");
+        let back = ChannelId::from_wire(&id.to_wire()).unwrap();
+        assert_eq!(id, back);
+        assert_eq!(id.to_string(), "payments");
+    }
+
+    #[test]
+    fn chaincode_id_round_trip() {
+        let id = ChaincodeId::new("fabcoin", "1.0");
+        assert_eq!(ChaincodeId::from_wire(&id.to_wire()).unwrap(), id);
+        assert_eq!(id.to_string(), "fabcoin:1.0");
+    }
+
+    #[test]
+    fn txid_derivation_is_deterministic() {
+        let a = TxId::derive(b"client-1", &[1u8; 32]);
+        let b = TxId::derive(b"client-1", &[1u8; 32]);
+        let c = TxId::derive(b"client-1", &[2u8; 32]);
+        let d = TxId::derive(b"client-2", &[1u8; 32]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn txid_round_trip() {
+        let id = TxId::derive(b"c", &[9u8; 32]);
+        assert_eq!(TxId::from_wire(&id.to_wire()).unwrap(), id);
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(Version::new(1, 5) < Version::new(2, 0));
+        assert!(Version::new(2, 0) < Version::new(2, 1));
+        assert_eq!(Version::new(3, 3), Version::new(3, 3));
+    }
+
+    #[test]
+    fn version_round_trip() {
+        let v = Version::new(42, 7);
+        assert_eq!(Version::from_wire(&v.to_wire()).unwrap(), v);
+    }
+
+    #[test]
+    fn validation_codes_round_trip() {
+        for code in [
+            TxValidationCode::Valid,
+            TxValidationCode::EndorsementPolicyFailure,
+            TxValidationCode::MvccReadConflict,
+            TxValidationCode::PhantomReadConflict,
+            TxValidationCode::BadSignature,
+            TxValidationCode::DuplicateTxId,
+            TxValidationCode::Unauthorized,
+            TxValidationCode::BadPayload,
+            TxValidationCode::InvalidConfig,
+            TxValidationCode::NotValidated,
+        ] {
+            assert_eq!(TxValidationCode::from_wire(&code.to_wire()).unwrap(), code);
+        }
+        assert!(TxValidationCode::from_wire(&[42]).is_err());
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let id = SerializedIdentity::new("Org1MSP", vec![1, 2, 3]);
+        assert_eq!(SerializedIdentity::from_wire(&id.to_wire()).unwrap(), id);
+    }
+}

@@ -1,0 +1,392 @@
+//! A compact, deterministic binary wire codec.
+//!
+//! Fabric serializes its protocol messages with protobuf; this workspace
+//! uses a hand-rolled length-prefixed codec with the same essential
+//! properties: deterministic encoding (required because endorsers sign over
+//! serialized payloads and all peers must derive identical hashes), explicit
+//! bounds checks on decode, and cheap size measurement for block cutting.
+//!
+//! All multi-byte integers are little-endian. Variable-length fields are
+//! prefixed with a `u32` length. Decoding never panics; malformed input
+//! yields [`WireError`].
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// A length prefix exceeded the remaining buffer or a sanity bound.
+    BadLength,
+    /// An enum discriminant or tag byte was not recognized.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::BadLength => write!(f, "length prefix out of bounds"),
+            WireError::BadTag(t) => write!(f, "unrecognized tag byte {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoder accumulating bytes into a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(256),
+        }
+    }
+
+    /// Finishes encoding and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Appends raw bytes *without* a length prefix (fixed-size fields).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_string(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends an `Option`, prefixed with a presence byte.
+    pub fn put_option<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Encoder, &T)) {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                f(self, inner);
+            }
+        }
+    }
+
+    /// Appends a `Vec`, prefixed with a `u32` element count.
+    pub fn put_seq<T>(&mut self, v: &[T], mut f: impl FnMut(&mut Encoder, &T)) {
+        self.put_u32(v.len() as u32);
+        for item in v {
+            f(self, item);
+        }
+    }
+}
+
+/// Decoder reading from a byte slice with bounds checking.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+/// A hard cap on decoded collection lengths, protecting against
+/// maliciously huge length prefixes.
+const MAX_SEQ_LEN: u32 = 16 * 1024 * 1024;
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        if self.buf.remaining() < 1 {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        if self.buf.remaining() < 4 {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        if self.buf.remaining() < 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a bool byte (`0` or `1`).
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads exactly `n` raw bytes (fixed-size fields).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a 32-byte array (digests, nonces).
+    pub fn get_array32(&mut self) -> Result<[u8; 32], WireError> {
+        let raw = self.get_raw(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(raw);
+        Ok(out)
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()?;
+        if len > MAX_SEQ_LEN || len as usize > self.buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(self.get_raw(len as usize)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads an `Option` with a presence byte.
+    pub fn get_option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Decoder<'a>) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a `u32`-counted sequence.
+    pub fn get_seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Decoder<'a>) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let count = self.get_u32()?;
+        if count > MAX_SEQ_LEN {
+            return Err(WireError::BadLength);
+        }
+        // Each element needs at least one byte; cheap sanity bound.
+        if count as usize > self.buf.len() && count > 0 {
+            return Err(WireError::BadLength);
+        }
+        let mut out = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types that can be serialized with the wire codec.
+pub trait Wire: Sized {
+    /// Appends this value to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+    /// Reads a value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError>;
+
+    /// Serializes to a standalone byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Deserializes from a complete byte slice, rejecting trailing bytes.
+    fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.expect_end()?;
+        Ok(v)
+    }
+
+    /// Serialized size in bytes (used by the block cutter).
+    fn wire_size(&self) -> usize {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(0x0123_4567_89ab_cdef);
+        enc.put_bool(true);
+        enc.put_bytes(b"hello");
+        enc.put_string("world");
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_bytes().unwrap(), b"hello");
+        assert_eq!(dec.get_string().unwrap(), "world");
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_option(&Some(42u64), |e, v| e.put_u64(*v));
+        enc.put_option(&None::<u64>, |e, v| e.put_u64(*v));
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_option(|d| d.get_u64()).unwrap(), Some(42));
+        assert_eq!(dec.get_option(|d| d.get_u64()).unwrap(), None);
+    }
+
+    #[test]
+    fn seq_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_seq(&[1u32, 2, 3], |e, v| e.put_u32(*v));
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_seq(|d| d.get_u32()).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert_eq!(dec.get_u32(), Err(WireError::UnexpectedEof));
+        let mut dec = Decoder::new(&[]);
+        assert_eq!(dec.get_u8(), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_bytes(), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        let mut dec = Decoder::new(&[9]);
+        assert_eq!(dec.get_bool(), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_string(), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        #[derive(Debug)]
+        struct Byte(u8);
+        impl Wire for Byte {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_u8(self.0);
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+                Ok(Byte(dec.get_u8()?))
+            }
+        }
+        assert!(Byte::from_wire(&[1]).is_ok());
+        assert_eq!(
+            Byte::from_wire(&[1, 2]).unwrap_err(),
+            WireError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn array32_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_raw(&[7u8; 32]);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_array32().unwrap(), [7u8; 32]);
+        assert!(Decoder::new(&[0u8; 31]).get_array32().is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # fabric-raft
+//!
+//! A from-scratch Raft consensus implementation (Ongaro & Ousterhout),
+//! serving as the crash-fault-tolerant replicated log behind the ordering
+//! service — the role Apache Kafka + ZooKeeper play in the paper (Sec. 4.2).
+//! Production Fabric later replaced Kafka with exactly this substitution
+//! (etcd-raft), which is why a Raft log is the faithful CFT stand-in.
+//!
+//! The implementation is a pure state machine ([`RaftNode`]): drivers feed
+//! ticks and messages, and execute the returned [`Output`]s. This keeps the
+//! protocol deterministic and testable under seeded fault injection (see
+//! [`cluster::Cluster`]) and lets the same code run threaded or inside the
+//! discrete-event simulator.
+//!
+//! Scope notes: leadership transfer, membership change, and log-compaction
+//! snapshots are not implemented — the ordering service uses a static OSN
+//! cluster per channel and persists delivered blocks itself, so the Raft
+//! log is a transport, not the system of record.
+
+pub mod cluster;
+pub mod message;
+pub mod node;
+
+pub use cluster::{Cluster, Fate, InFlight};
+pub use message::{LogEntry, Message, NodeId, Output};
+pub use node::{ProposeError, RaftConfig, RaftNode, Role};

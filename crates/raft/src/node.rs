@@ -1,0 +1,512 @@
+//! The Raft consensus state machine.
+//!
+//! A [`RaftNode`] is a pure, deterministic state machine: the driver feeds
+//! it clock ticks ([`RaftNode::tick`]) and messages ([`RaftNode::step`]) and
+//! executes the [`Output`]s it returns. Determinism (given the seed) makes
+//! whole-cluster behaviour reproducible in tests and in the discrete-event
+//! simulator.
+//!
+//! Log indices are 1-based; index 0 is the empty-log sentinel.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{LogEntry, Message, NodeId, Output};
+
+/// A node's current role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// Cluster leader.
+    Leader,
+}
+
+/// Errors returned by [`RaftNode::propose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposeError {
+    /// Only the leader accepts proposals; retry at the hinted leader.
+    NotLeader(Option<NodeId>),
+}
+
+/// Tunable timing, in ticks (the driver defines the tick length).
+#[derive(Clone, Copy, Debug)]
+pub struct RaftConfig {
+    /// Minimum election timeout.
+    pub election_timeout_min: u64,
+    /// Maximum election timeout (randomized per node and per election).
+    pub election_timeout_max: u64,
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: u64,
+    /// Maximum entries shipped in one `AppendEntries`.
+    pub max_batch: usize,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: 10,
+            election_timeout_max: 20,
+            heartbeat_interval: 3,
+            max_batch: 512,
+        }
+    }
+}
+
+/// A single Raft participant.
+pub struct RaftNode {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    config: RaftConfig,
+    rng: StdRng,
+
+    // Persistent state (exposed via `hard_state` for drivers that persist).
+    term: u64,
+    voted_for: Option<NodeId>,
+    log: Vec<LogEntry>,
+
+    // Volatile state.
+    role: Role,
+    commit_index: u64,
+    last_applied: u64,
+    leader_hint: Option<NodeId>,
+    ticks_since_activity: u64,
+    election_deadline: u64,
+    votes: HashSet<NodeId>,
+
+    // Leader state.
+    next_index: HashMap<NodeId, u64>,
+    match_index: HashMap<NodeId, u64>,
+    ticks_since_heartbeat: u64,
+}
+
+impl RaftNode {
+    /// Creates a node. `peers` lists the *other* cluster members; `seed`
+    /// drives election-timeout randomization.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, config: RaftConfig, seed: u64) -> Self {
+        let mut node = RaftNode {
+            id,
+            peers,
+            config,
+            rng: StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            role: Role::Follower,
+            commit_index: 0,
+            last_applied: 0,
+            leader_hint: None,
+            ticks_since_activity: 0,
+            election_deadline: 0,
+            votes: HashSet::new(),
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            ticks_since_heartbeat: 0,
+        };
+        node.reset_election_deadline();
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Highest committed log index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Last known leader, if any.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        if self.role == Role::Leader {
+            Some(self.id)
+        } else {
+            self.leader_hint
+        }
+    }
+
+    /// Number of entries in the log.
+    pub fn log_len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Reads a log entry by 1-based index.
+    pub fn entry(&self, index: u64) -> Option<&LogEntry> {
+        if index == 0 {
+            return None;
+        }
+        self.log.get(index as usize - 1)
+    }
+
+    fn quorum(&self) -> usize {
+        (self.peers.len() + 1) / 2 + 1
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(0)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            self.log
+                .get(index as usize - 1)
+                .map(|e| e.term)
+                .unwrap_or(0)
+        }
+    }
+
+    fn reset_election_deadline(&mut self) {
+        self.ticks_since_activity = 0;
+        self.election_deadline = self
+            .rng
+            .gen_range(self.config.election_timeout_min..=self.config.election_timeout_max);
+    }
+
+    /// Advances the node's clock by one tick.
+    pub fn tick(&mut self) -> Vec<Output> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Leader => {
+                self.ticks_since_heartbeat += 1;
+                if self.ticks_since_heartbeat >= self.config.heartbeat_interval {
+                    self.ticks_since_heartbeat = 0;
+                    self.broadcast_append(&mut out);
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                self.ticks_since_activity += 1;
+                if self.ticks_since_activity >= self.election_deadline {
+                    self.start_election(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Proposes a command; only valid on the leader.
+    pub fn propose(&mut self, data: Vec<u8>) -> Result<(u64, Vec<Output>), ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader(self.leader_hint()));
+        }
+        self.log.push(LogEntry {
+            term: self.term,
+            data,
+        });
+        let index = self.last_log_index();
+        let mut out = Vec::new();
+        // Single-node cluster commits immediately.
+        self.maybe_advance_commit(&mut out);
+        self.broadcast_append(&mut out);
+        self.ticks_since_heartbeat = 0;
+        Ok((index, out))
+    }
+
+    /// Handles a message from `from`.
+    pub fn step(&mut self, from: NodeId, message: Message) -> Vec<Output> {
+        let mut out = Vec::new();
+        // Any higher term converts us to follower first.
+        if message.term() > self.term {
+            self.become_follower(message.term(), &mut out);
+        }
+        match message {
+            Message::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, last_log_index, last_log_term, &mut out),
+            Message::RequestVoteResponse { term, granted } => {
+                self.on_vote_response(from, term, granted, &mut out)
+            }
+            Message::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(
+                from,
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+                &mut out,
+            ),
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => self.on_append_response(from, term, success, match_index, &mut out),
+        }
+        out
+    }
+
+    fn become_follower(&mut self, term: u64, out: &mut Vec<Output>) {
+        let was_leader = self.role == Role::Leader;
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes.clear();
+        self.reset_election_deadline();
+        if was_leader {
+            out.push(Output::SteppedDown);
+        }
+    }
+
+    fn start_election(&mut self, out: &mut Vec<Output>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.reset_election_deadline();
+        if self.votes.len() >= self.quorum() {
+            // Single-node cluster.
+            self.become_leader(out);
+            return;
+        }
+        let msg = Message::RequestVote {
+            term: self.term,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        };
+        for &peer in &self.peers {
+            out.push(Output::Send {
+                to: peer,
+                message: msg.clone(),
+            });
+        }
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+        out: &mut Vec<Output>,
+    ) {
+        let up_to_date = last_log_term > self.last_log_term()
+            || (last_log_term == self.last_log_term() && last_log_index >= self.last_log_index());
+        let grant = term == self.term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if grant {
+            self.voted_for = Some(from);
+            self.reset_election_deadline();
+        }
+        out.push(Output::Send {
+            to: from,
+            message: Message::RequestVoteResponse {
+                term: self.term,
+                granted: grant,
+            },
+        });
+    }
+
+    fn on_vote_response(&mut self, from: NodeId, term: u64, granted: bool, out: &mut Vec<Output>) {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return;
+        }
+        self.votes.insert(from);
+        if self.votes.len() >= self.quorum() {
+            self.become_leader(out);
+        }
+    }
+
+    fn become_leader(&mut self, out: &mut Vec<Output>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.next_index.clear();
+        self.match_index.clear();
+        let next = self.last_log_index() + 1;
+        for &peer in &self.peers {
+            self.next_index.insert(peer, next);
+            self.match_index.insert(peer, 0);
+        }
+        self.ticks_since_heartbeat = 0;
+        out.push(Output::BecameLeader);
+        self.broadcast_append(out);
+    }
+
+    fn broadcast_append(&mut self, out: &mut Vec<Output>) {
+        let peers = self.peers.clone();
+        for peer in peers {
+            self.send_append(peer, out);
+        }
+    }
+
+    fn send_append(&mut self, peer: NodeId, out: &mut Vec<Output>) {
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        let prev_log_index = next - 1;
+        let prev_log_term = self.term_at(prev_log_index);
+        let from = next as usize - 1;
+        let to = (from + self.config.max_batch).min(self.log.len());
+        let entries = if from < self.log.len() {
+            self.log[from..to].to_vec()
+        } else {
+            Vec::new()
+        };
+        out.push(Output::Send {
+            to: peer,
+            message: Message::AppendEntries {
+                term: self.term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+        out: &mut Vec<Output>,
+    ) {
+        if term < self.term {
+            out.push(Output::Send {
+                to: from,
+                message: Message::AppendEntriesResponse {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        // Valid leader for this term.
+        if self.role != Role::Follower {
+            self.role = Role::Follower;
+            self.votes.clear();
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_deadline();
+
+        // Consistency check.
+        if prev_log_index > self.last_log_index()
+            || self.term_at(prev_log_index) != prev_log_term
+        {
+            out.push(Output::Send {
+                to: from,
+                message: Message::AppendEntriesResponse {
+                    term: self.term,
+                    success: false,
+                    // Hint: retry from our log end (simple but effective
+                    // conflict back-off).
+                    match_index: self.last_log_index().min(prev_log_index.saturating_sub(1)),
+                },
+            });
+            return;
+        }
+        // Append, truncating conflicts.
+        let mut index = prev_log_index;
+        for entry in entries {
+            index += 1;
+            if self.term_at(index) != entry.term {
+                self.log.truncate(index as usize - 1);
+                self.log.push(entry);
+            }
+        }
+        if leader_commit > self.commit_index {
+            self.commit_index = leader_commit.min(self.last_log_index());
+            self.emit_applied(out);
+        }
+        out.push(Output::Send {
+            to: from,
+            message: Message::AppendEntriesResponse {
+                term: self.term,
+                success: true,
+                match_index: index,
+            },
+        });
+    }
+
+    fn on_append_response(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        success: bool,
+        match_index: u64,
+        out: &mut Vec<Output>,
+    ) {
+        if self.role != Role::Leader || term != self.term {
+            return;
+        }
+        if success {
+            self.match_index.insert(from, match_index);
+            self.next_index.insert(from, match_index + 1);
+            self.maybe_advance_commit(out);
+            // Ship any remaining entries immediately.
+            if *self.next_index.get(&from).unwrap_or(&1) <= self.last_log_index() {
+                self.send_append(from, out);
+            }
+        } else {
+            // Back off toward the follower's hint and retry, never moving
+            // forward on failure.
+            let current = *self.next_index.get(&from).unwrap_or(&1);
+            let backed_off = (match_index + 1).min(current.saturating_sub(1)).max(1);
+            self.next_index.insert(from, backed_off);
+            self.send_append(from, out);
+        }
+    }
+
+    fn maybe_advance_commit(&mut self, out: &mut Vec<Output>) {
+        let last = self.last_log_index();
+        for candidate in (self.commit_index + 1..=last).rev() {
+            // Only entries from the current term commit by counting
+            // (Raft §5.4.2).
+            if self.term_at(candidate) != self.term {
+                continue;
+            }
+            let replicas = 1 + self
+                .match_index
+                .values()
+                .filter(|&&m| m >= candidate)
+                .count();
+            if replicas >= self.quorum() {
+                self.commit_index = candidate;
+                self.emit_applied(out);
+                break;
+            }
+        }
+    }
+
+    fn emit_applied(&mut self, out: &mut Vec<Output>) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let data = self.log[self.last_applied as usize - 1].data.clone();
+            out.push(Output::Committed {
+                index: self.last_applied,
+                data,
+            });
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Fault-injection and dissemination integration tests: chaincode DoS
+//! containment, gossip-based block delivery to non-endorsing peers, and
+//! Byzantine orderer behaviour at the consensus layer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fabric::chaincode::{RuntimeConfig, Stub};
+use fabric::gossip::{GossipConfig, GossipNode, GossipOutput};
+use fabric::kvstore::MemBackend;
+use fabric::msp::Role;
+use fabric::ordering::testkit::{make_envelope, TestNet};
+use fabric::ordering::OrderingCluster;
+use fabric::peer::{Peer, PeerConfig, PeerError};
+use fabric::primitives::block::Block;
+use fabric::primitives::config::{BatchConfig, ConsensusType};
+use fabric::primitives::rwset::TxReadWriteSet;
+use fabric::primitives::wire::Wire;
+
+#[test]
+fn dos_chaincode_cannot_stall_the_peer() {
+    // Paper Sec. 3.2: an endorser unilaterally aborts a runaway chaincode;
+    // only that proposal's liveness suffers.
+    let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+    let ordering = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![net.genesis.clone()],
+    )
+    .unwrap();
+    let genesis = ordering.deliver(&net.channel, 0).unwrap();
+    let identity = fabric::msp::issue_identity(&net.org_cas[0], "p", Role::Peer, b"p");
+    let peer = Peer::join(
+        identity,
+        &genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig {
+            vscc_parallelism: 1,
+            runtime: RuntimeConfig {
+                exec_timeout: Some(Duration::from_millis(150)),
+            },
+            sync_writes: false,
+        },
+    )
+    .unwrap();
+    peer.install_chaincode(
+        "evil",
+        Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            loop {
+                std::hint::spin_loop();
+            }
+        }),
+    );
+    peer.install_chaincode(
+        "good",
+        Arc::new(|stub: &mut Stub<'_>| {
+            stub.put_state("k", b"v".to_vec());
+            Ok(vec![])
+        }),
+    );
+    let client = fabric::client::Client::new(
+        fabric::msp::issue_identity(&net.org_cas[0], "c", Role::Client, b"c"),
+        net.channel.clone(),
+    );
+    // The evil proposal times out...
+    let evil = client.create_proposal("evil", "spin", vec![]);
+    let started = std::time::Instant::now();
+    let result = peer.process_proposal(&evil);
+    assert!(matches!(
+        result,
+        Err(PeerError::Chaincode(
+            fabric::chaincode::ChaincodeError::Timeout
+        ))
+    ));
+    assert!(started.elapsed() < Duration::from_secs(2));
+    // ...and an honest proposal right after works fine.
+    let good = client.create_proposal("good", "go", vec![]);
+    peer.process_proposal(&good).expect("peer still serves");
+}
+
+#[test]
+fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
+    // Wire the gossip overlay between a leader (pulling from the ordering
+    // service) and followers; every follower commits the same chain.
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Solo,
+        1,
+        BatchConfig {
+            max_message_count: 1,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 1000,
+        },
+    );
+    let mut ordering = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![net.genesis.clone()],
+    )
+    .unwrap();
+    let genesis = ordering.deliver(&net.channel, 0).unwrap();
+    let client = net.client(0, "c1");
+    for i in 0..5u64 {
+        let mut nonce = [0u8; 32];
+        nonce[..8].copy_from_slice(&i.to_le_bytes());
+        ordering
+            .broadcast(make_envelope(
+                &client,
+                &net.channel,
+                nonce,
+                TxReadWriteSet::default(),
+            ))
+            .unwrap();
+    }
+
+    // Three peers in one org; ids 1..=3; node 1 becomes leader.
+    let bootstrap: Vec<(u64, String)> =
+        (1..=3).map(|id| (id, "Org1MSP".to_string())).collect();
+    let mut gossips: Vec<GossipNode> = (1..=3)
+        .map(|id| {
+            GossipNode::new(
+                id,
+                "Org1MSP",
+                &bootstrap,
+                vec![net.channel.clone()],
+                GossipConfig::default(),
+                7,
+            )
+        })
+        .collect();
+    let peers: Vec<Peer> = (0..3)
+        .map(|i| {
+            let identity = fabric::msp::issue_identity(
+                &net.org_cas[0],
+                &format!("p{i}"),
+                Role::Peer,
+                format!("gp{i}").as_bytes(),
+            );
+            Peer::join(
+                identity,
+                &genesis,
+                Arc::new(MemBackend::new()),
+                PeerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Drive gossip: leaders pull from ordering, outputs route messages and
+    // block deliveries.
+    let mut pending: std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)> =
+        Default::default();
+    for _ in 0..30 {
+        for idx in 0..gossips.len() {
+            let node_id = gossips[idx].id();
+            let outputs = gossips[idx].tick();
+            for output in outputs {
+                match output {
+                    GossipOutput::PullFromOrderer { channel, next } => {
+                        // Only the leader should be pulling.
+                        assert_eq!(node_id, 1, "only the org leader pulls");
+                        if let Some(block) = ordering.deliver(&channel, next) {
+                            let more = gossips[idx].on_block_from_orderer(
+                                &channel,
+                                block.header.number,
+                                block.to_wire(),
+                            );
+                            for m in more {
+                                route(node_id, m, &mut pending, &peers, idx, &mut gossips);
+                            }
+                        }
+                    }
+                    other => route(node_id, other, &mut pending, &peers, idx, &mut gossips),
+                }
+            }
+        }
+        while let Some((from, to, message)) = pending.pop_front() {
+            let outputs = gossips[(to - 1) as usize].step(from, message);
+            for output in outputs {
+                route(to, output, &mut pending, &peers, (to - 1) as usize, &mut gossips);
+            }
+        }
+    }
+
+    fn route(
+        from: u64,
+        output: GossipOutput,
+        pending: &mut std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)>,
+        peers: &[Peer],
+        peer_idx: usize,
+        _gossips: &mut [GossipNode],
+    ) {
+        match output {
+            GossipOutput::Send { to, message } => pending.push_back((from, to, message)),
+            GossipOutput::DeliverBlock { payload, .. } => {
+                let block = Block::from_wire(&payload).expect("valid block");
+                // Peers commit blocks as gossip delivers them in order.
+                if block.header.number == peers[peer_idx].height() {
+                    peers[peer_idx].commit_block(&block).expect("commit");
+                }
+            }
+            GossipOutput::PullFromOrderer { .. } => {}
+        }
+    }
+
+    // All peers converged to the full chain (5 tx blocks + genesis).
+    for (i, peer) in peers.iter().enumerate() {
+        assert_eq!(peer.height(), 6, "peer {i} converged via gossip");
+    }
+}
+
+#[test]
+fn tampered_block_from_gossip_rejected_by_peer() {
+    // A malicious gossip relay alters a block payload; the receiving peer
+    // detects it via the data hash / orderer signature and refuses it.
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Solo,
+        1,
+        BatchConfig {
+            max_message_count: 1,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 1000,
+        },
+    );
+    let mut ordering = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![net.genesis.clone()],
+    )
+    .unwrap();
+    let genesis = ordering.deliver(&net.channel, 0).unwrap();
+    let client = net.client(0, "c1");
+    ordering
+        .broadcast(make_envelope(
+            &client,
+            &net.channel,
+            [1u8; 32],
+            TxReadWriteSet::default(),
+        ))
+        .unwrap();
+    let block = ordering.deliver(&net.channel, 1).unwrap();
+
+    let identity = fabric::msp::issue_identity(&net.org_cas[0], "p", Role::Peer, b"p");
+    let peer = Peer::join(
+        identity,
+        &genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig::default(),
+    )
+    .unwrap();
+
+    // Tamper with the payload but keep the header: data-hash check fires.
+    let mut tampered = block.clone();
+    tampered.envelopes[0].signature = vec![0xff; 64];
+    assert!(matches!(
+        peer.commit_block(&tampered),
+        Err(PeerError::BadBlock(_))
+    ));
+
+    // Recompute the data hash too (a full forgery): now the orderer
+    // signature check fires instead.
+    let mut forged = Block::new(1, genesis.hash(), tampered.envelopes.clone());
+    forged.metadata.signatures = block.metadata.signatures.clone();
+    assert!(matches!(
+        peer.commit_block(&forged),
+        Err(PeerError::Identity(_))
+    ));
+
+    // The genuine block still commits.
+    peer.commit_block(&block).expect("authentic block accepted");
+}
+
+#[test]
+fn byzantine_equivocation_does_not_split_ordering() {
+    // Drive the PBFT consensus directly with an equivocating primary and
+    // confirm the ordering layer cannot commit two different values for
+    // one sequence number (quorum intersection).
+    use fabric::pbft::{Output, PbftConfig, PbftMessage, PbftNode};
+    let n = 4;
+    let mut nodes: Vec<PbftNode> = (0..n as u64)
+        .map(|id| PbftNode::new(id, n, PbftConfig::default()))
+        .collect();
+    let payload_a = b"value-A".to_vec();
+    let payload_b = b"value-B".to_vec();
+    let pp = |payload: &[u8]| PbftMessage::PrePrepare {
+        view: 0,
+        seq: 1,
+        digest: fabric::crypto::digest(payload),
+        payload: payload.to_vec(),
+    };
+    // Primary 0 equivocates: A to replicas 1-2, B to replica 3.
+    let mut queue: Vec<(u64, u64, PbftMessage)> = vec![
+        (0, 1, pp(&payload_a)),
+        (0, 2, pp(&payload_a)),
+        (0, 3, pp(&payload_b)),
+    ];
+    let mut delivered: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut guard = 0;
+    while let Some((from, to, message)) = queue.pop() {
+        guard += 1;
+        assert!(guard < 10_000);
+        for output in nodes[to as usize].step(from, message) {
+            match output {
+                Output::Send { to: next, message } => queue.push((to, next, message)),
+                Output::Delivered { seq, data } => delivered.push((seq, data)),
+            }
+        }
+    }
+    let values: std::collections::HashSet<Vec<u8>> =
+        delivered.into_iter().map(|(_, d)| d).collect();
+    assert!(
+        values.len() <= 1,
+        "equivocation must never commit two values: {values:?}"
+    );
+}

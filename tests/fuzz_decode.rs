@@ -1,0 +1,68 @@
+//! Decoder robustness: feeding arbitrary bytes to every wire decoder must
+//! never panic — it either parses or returns a `WireError`. (Peers and
+//! OSNs decode bytes received from untrusted parties.)
+
+use proptest::prelude::*;
+
+use fabric::primitives::block::Block;
+use fabric::primitives::config::{ChannelConfig, ConfigUpdate};
+use fabric::primitives::rwset::TxReadWriteSet;
+use fabric::primitives::transaction::{Envelope, SignedProposal, Transaction};
+use fabric::primitives::wire::Wire;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_decoders(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Envelope::from_wire(&bytes);
+        let _ = Block::from_wire(&bytes);
+        let _ = Transaction::from_wire(&bytes);
+        let _ = SignedProposal::from_wire(&bytes);
+        let _ = TxReadWriteSet::from_wire(&bytes);
+        let _ = ChannelConfig::from_wire(&bytes);
+        let _ = ConfigUpdate::from_wire(&bytes);
+        let _ = fabric::ordering::OrderedItem::from_wire(&bytes);
+        let _ = fabric::chaincode::ChaincodeDefinition::from_wire(&bytes);
+        let _ = fabric::fabcoin::FabcoinRequest::from_wire(&bytes);
+        let _ = fabric::msp::Certificate::from_wire(&bytes);
+        let _ = fabric::policy::PolicyExpr::from_wire(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_encodings_never_panic(cut in 0usize..4096) {
+        // A structurally valid envelope, truncated at every prefix length.
+        use fabric::ordering::testkit::{make_padded_envelope, TestNet};
+        use fabric::primitives::config::ConsensusType;
+        let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+        let client = net.client(0, "c");
+        let env = make_padded_envelope(&client, &net.channel, [1u8; 32], 256);
+        let bytes = env.to_wire();
+        let cut = cut.min(bytes.len());
+        let result = Envelope::from_wire(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_rarely_validate(pos in 0usize..2048, bit in 0u8..8) {
+        use fabric::ordering::testkit::{make_padded_envelope, TestNet};
+        use fabric::primitives::config::ConsensusType;
+        let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+        let client = net.client(0, "c");
+        let env = make_padded_envelope(&client, &net.channel, [2u8; 32], 128);
+        let mut bytes = env.to_wire();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Decoding may succeed (the flip hit a value byte) or fail, but a
+        // successfully decoded flipped envelope must not verify as the
+        // original: either the signature bytes changed, or the content
+        // (and thus the signed message) changed.
+        if let Ok(decoded) = Envelope::from_wire(&bytes) {
+            prop_assert!(decoded != env);
+        }
+    }
+}

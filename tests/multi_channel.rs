@@ -1,0 +1,131 @@
+//! Multiple channels on one ordering service (paper Sec. 3.1): channels
+//! partition state, each forms its own hash chain, and cross-channel
+//! ordering is uncoordinated.
+
+use fabric::ordering::testkit::{make_envelope, TestNet};
+use fabric::ordering::{OrderingCluster, OrderingNode};
+use fabric::primitives::config::{BatchConfig, ConsensusType};
+use fabric::primitives::ids::ChannelId;
+use fabric::primitives::rwset::TxReadWriteSet;
+
+fn nonce(i: u64) -> [u8; 32] {
+    let mut n = [0u8; 32];
+    n[..8].copy_from_slice(&i.to_le_bytes());
+    n
+}
+
+#[test]
+fn channels_are_isolated_chains() {
+    // Two channels served by the same OSN cluster.
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Solo,
+        1,
+        BatchConfig {
+            max_message_count: 1,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 1000,
+        },
+    );
+    let mut genesis_a = net.genesis.clone();
+    genesis_a.channel = ChannelId::new("channel-a");
+    let mut genesis_b = net.genesis.clone();
+    genesis_b.channel = ChannelId::new("channel-b");
+    let mut cluster = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![genesis_a, genesis_b],
+    )
+    .expect("two channels bootstrap");
+
+    let client = net.client(0, "c1");
+    let a = ChannelId::new("channel-a");
+    let b = ChannelId::new("channel-b");
+    // 3 txs on A, 1 tx on B.
+    for i in 0..3 {
+        cluster
+            .broadcast(make_envelope(&client, &a, nonce(i), TxReadWriteSet::default()))
+            .unwrap();
+    }
+    cluster
+        .broadcast(make_envelope(&client, &b, nonce(100), TxReadWriteSet::default()))
+        .unwrap();
+
+    // Heights are independent.
+    assert_eq!(cluster.height(&a), 4, "genesis + 3 blocks");
+    assert_eq!(cluster.height(&b), 2, "genesis + 1 block");
+
+    // Each channel forms its own hash chain from its own genesis.
+    for channel in [&a, &b] {
+        let mut prev = cluster.deliver(channel, 0).unwrap();
+        for seq in 1..cluster.height(channel) {
+            let block = cluster.deliver(channel, seq).unwrap();
+            assert!(block.follows(&prev));
+            // Every envelope targets this channel only.
+            for env in &block.envelopes {
+                assert_eq!(env.channel(), channel);
+            }
+            prev = block;
+        }
+    }
+    // Chains are distinct.
+    assert_ne!(
+        cluster.deliver(&a, 0).unwrap().hash(),
+        cluster.deliver(&b, 0).unwrap().hash()
+    );
+}
+
+#[test]
+fn envelope_for_one_channel_never_appears_on_another() {
+    let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+    let mut genesis_a = net.genesis.clone();
+    genesis_a.channel = ChannelId::new("channel-a");
+    let mut genesis_b = net.genesis.clone();
+    genesis_b.channel = ChannelId::new("channel-b");
+    let mut cluster = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![genesis_a, genesis_b],
+    )
+    .unwrap();
+    let client = net.client(0, "c1");
+    let a = ChannelId::new("channel-a");
+    let b = ChannelId::new("channel-b");
+    let env = make_envelope(&client, &a, nonce(1), TxReadWriteSet::default());
+    let tx_id = env.tx_id();
+    cluster.broadcast(env).unwrap();
+    for _ in 0..20 {
+        cluster.tick();
+    }
+    let on_channel = |cluster: &OrderingCluster, ch: &ChannelId| -> bool {
+        (0..cluster.height(ch)).any(|seq| {
+            cluster
+                .deliver(ch, seq)
+                .unwrap()
+                .envelopes
+                .iter()
+                .any(|e| e.tx_id() == tx_id)
+        })
+    };
+    assert!(on_channel(&cluster, &a));
+    assert!(!on_channel(&cluster, &b));
+}
+
+#[test]
+fn per_channel_state_access() {
+    // OrderingNode::channel exposes per-channel config and chain state.
+    let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+    let mut genesis_a = net.genesis.clone();
+    genesis_a.channel = ChannelId::new("channel-a");
+    let cluster = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![genesis_a],
+    )
+    .unwrap();
+    let node: &OrderingNode = &cluster.nodes()[0];
+    let state = node.channel(&ChannelId::new("channel-a")).unwrap();
+    assert_eq!(state.config.sequence, 0);
+    assert!(node.channel(&ChannelId::new("nope")).is_none());
+}
