@@ -19,7 +19,7 @@ use fabric::kvstore::backend::Backend;
 use fabric::msp::Role;
 use fabric::ordering::testkit::TestNet;
 use fabric::ordering::OrderingCluster;
-use fabric::peer::{Peer, PeerConfig};
+use fabric::peer::{Peer, PeerConfig, PipelineHandle, PipelineOptions, PipelineStats};
 use fabric::primitives::config::{BatchConfig, ConsensusType};
 use fabric::primitives::ids::{TxId, TxValidationCode};
 use fabric::primitives::transaction::Envelope;
@@ -105,6 +105,8 @@ pub struct PipelineResult {
     pub e2e: LatencyStats,
     /// Transactions that failed validation (should be 0).
     pub invalid: usize,
+    /// Pipelined-committer stage histograms and queue gauges.
+    pub pipeline: PipelineStats,
 }
 
 /// Runs the full pipeline measurement.
@@ -269,7 +271,8 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
         }
     }
 
-    // --- Phase 3: measured submission + commit. ---
+    // --- Phase 3: measured submission, committed through the pipelined
+    // committer (block n+1's VSCC overlaps block n's rw-check/append). ---
     let n = envelopes.len();
     let mut send_ts: std::collections::HashMap<TxId, Instant> =
         std::collections::HashMap::with_capacity(n);
@@ -278,6 +281,16 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
     let mut timings = Vec::new();
     let mut block_sizes = Vec::new();
     let mut invalid = 0usize;
+
+    let handle = peer.pipeline_with(PipelineOptions {
+        vscc_workers: cfg.vscc_parallelism,
+        intake_capacity: 64,
+    });
+    // Block number → tx ids, so commit events can be matched back to the
+    // transactions' send timestamps.
+    let mut block_txids: std::collections::HashMap<u64, Vec<TxId>> =
+        std::collections::HashMap::new();
+    let mut next_deliver = peer.height();
 
     let t0 = Instant::now();
     for (i, (txid, envelope)) in envelopes.into_iter().enumerate() {
@@ -289,13 +302,20 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
         }
         send_ts.insert(txid, Instant::now());
         ordering.broadcast(envelope).expect("broadcast accepted");
-        // Commit any block that is ready (keeps the pipeline interleaved).
-        commit_ready(
+        // Feed any block the orderer has cut into the pipeline.
+        submit_ready(
             &ordering,
             &net,
-            &peer,
+            &handle,
+            &mut next_deliver,
             &send_ts,
             &mut ordering_samples,
+            &mut block_txids,
+        );
+        drain_events(
+            &handle,
+            &send_ts,
+            &mut block_txids,
             &mut e2e_samples,
             &mut timings,
             &mut block_sizes,
@@ -305,19 +325,30 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
     // Flush the tail: tick until the timeout cuts the last partial block.
     for _ in 0..10 {
         ordering.tick();
-        commit_ready(
+        submit_ready(
             &ordering,
             &net,
-            &peer,
+            &handle,
+            &mut next_deliver,
             &send_ts,
             &mut ordering_samples,
-            &mut e2e_samples,
-            &mut timings,
-            &mut block_sizes,
-            &mut invalid,
+            &mut block_txids,
         );
     }
+    handle
+        .wait_committed(next_deliver)
+        .expect("pipeline drains");
+    drain_events(
+        &handle,
+        &send_ts,
+        &mut block_txids,
+        &mut e2e_samples,
+        &mut timings,
+        &mut block_sizes,
+        &mut invalid,
+    );
     let elapsed = t0.elapsed();
+    let pipeline_stats = handle.close().expect("pipeline closes clean");
 
     let committed: usize = block_sizes.iter().sum();
     assert_eq!(committed, n, "all measured txs committed");
@@ -347,27 +378,22 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
         ),
         e2e: LatencyStats::from_durations(&e2e_samples),
         invalid,
+        pipeline: pipeline_stats,
     }
 }
 
-/// Commits every block the orderer has cut but the peer has not seen.
-#[allow(clippy::too_many_arguments)]
-fn commit_ready(
+/// Submits every block the orderer has cut but the pipeline has not seen,
+/// recording ordering latency at delivery time.
+fn submit_ready(
     ordering: &OrderingCluster,
     net: &TestNet,
-    peer: &Peer,
+    handle: &PipelineHandle,
+    next_deliver: &mut u64,
     send_ts: &std::collections::HashMap<TxId, Instant>,
     ordering_samples: &mut Vec<Duration>,
-    e2e_samples: &mut Vec<Duration>,
-    timings: &mut Vec<fabric::peer::ValidationTiming>,
-    block_sizes: &mut Vec<usize>,
-    invalid: &mut usize,
+    block_txids: &mut std::collections::HashMap<u64, Vec<TxId>>,
 ) {
-    loop {
-        let next = peer.height();
-        let Some(block) = ordering.deliver(&net.channel, next) else {
-            return;
-        };
+    while let Some(block) = ordering.deliver(&net.channel, *next_deliver) {
         let received = Instant::now();
         let tx_ids: Vec<TxId> = block.envelopes.iter().map(|e| e.tx_id()).collect();
         for txid in &tx_ids {
@@ -375,12 +401,30 @@ fn commit_ready(
                 ordering_samples.push(received.duration_since(*sent));
             }
         }
-        let (flags, timing) = peer.commit_block(&block).expect("commit succeeds");
-        let committed_at = Instant::now();
+        block_txids.insert(block.header.number, tx_ids);
+        handle.submit(block).expect("pipeline accepts block");
+        *next_deliver += 1;
+    }
+}
+
+/// Drains commit events from the pipeline, matching transactions back to
+/// their send timestamps for end-to-end latency.
+#[allow(clippy::too_many_arguments)]
+fn drain_events(
+    handle: &PipelineHandle,
+    send_ts: &std::collections::HashMap<TxId, Instant>,
+    block_txids: &mut std::collections::HashMap<u64, Vec<TxId>>,
+    e2e_samples: &mut Vec<Duration>,
+    timings: &mut Vec<fabric::peer::ValidationTiming>,
+    block_sizes: &mut Vec<usize>,
+    invalid: &mut usize,
+) {
+    while let Some(event) = handle.try_event() {
+        let tx_ids = block_txids.remove(&event.block_num).unwrap_or_default();
         let mut measured_in_block = 0;
-        for (txid, flag) in tx_ids.iter().zip(&flags) {
+        for (txid, flag) in tx_ids.iter().zip(&event.validity) {
             if let Some(sent) = send_ts.get(txid) {
-                e2e_samples.push(committed_at.duration_since(*sent));
+                e2e_samples.push(event.committed_at.duration_since(*sent));
                 measured_in_block += 1;
                 if *flag != TxValidationCode::Valid {
                     *invalid += 1;
@@ -388,7 +432,7 @@ fn commit_ready(
             }
         }
         if measured_in_block > 0 {
-            timings.push(timing);
+            timings.push(event.timing);
             block_sizes.push(measured_in_block);
         }
     }

@@ -70,12 +70,31 @@ impl Ledger {
 
     /// Appends a validated block (metadata flags filled in) and commits its
     /// state changes.
+    ///
+    /// Commits are strictly ordered: with concurrent validation (the
+    /// peer's pipelined committer) only the in-order sequencer may reach
+    /// this point, and an out-of-order block is rejected before anything
+    /// is written.
     pub fn commit(&self, block: &Block) -> Result<(), LedgerError> {
+        let expected = self.blocks.height();
+        if block.header.number != expected {
+            return Err(LedgerError::OutOfOrder {
+                expected,
+                got: block.header.number,
+            });
+        }
         if block.metadata.validation.len() != block.envelopes.len() {
             return Err(LedgerError::MissingValidationFlags);
         }
         self.blocks.append(block)?;
         self.ptm.commit_block(block, &block.metadata.validation)?;
+        // The savepoint must track the append exactly, or crash recovery
+        // would replay from the wrong block.
+        debug_assert_eq!(
+            self.ptm.savepoint(),
+            Some(block.header.number),
+            "savepoint out of step with block store"
+        );
         Ok(())
     }
 
@@ -538,6 +557,26 @@ mod tests {
         let ledger = Ledger::open(backend, false).unwrap();
         assert_eq!(ledger.height(), 1);
         assert_eq!(ledger.get_state("cc", "k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(ledger.ptm().savepoint(), Some(0));
+    }
+
+    #[test]
+    fn out_of_order_commit_rejected_before_any_write() {
+        let ledger = Ledger::in_memory();
+        commit_block(
+            &ledger,
+            vec![simulate(&ledger, 1, |sim| sim.put_state("cc", "k", b"v".to_vec()))],
+        );
+        let env = simulate(&ledger, 2, |sim| sim.put_state("cc", "j", b"w".to_vec()));
+        let mut skipped = Block::new(5, ledger.last_hash(), vec![env]);
+        skipped.metadata.validation = vec![TxValidationCode::Valid];
+        assert!(matches!(
+            ledger.commit(&skipped),
+            Err(LedgerError::OutOfOrder { expected: 1, got: 5 })
+        ));
+        // Nothing was appended or applied.
+        assert_eq!(ledger.height(), 1);
+        assert_eq!(ledger.get_state("cc", "j").unwrap(), None);
         assert_eq!(ledger.ptm().savepoint(), Some(0));
     }
 

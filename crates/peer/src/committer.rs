@@ -56,10 +56,15 @@ impl ValidationTiming {
 }
 
 /// The validation/commit component of a peer.
+///
+/// Cloning is cheap and shares the channel view and VSCC registry — the
+/// cross-block pipeline (see [`crate::pipeline`]) hands clones to its
+/// worker threads.
+#[derive(Clone)]
 pub struct Committer {
     view: Arc<RwLock<ChannelView>>,
     /// Custom VSCCs by chaincode name (e.g. Fabcoin's, paper Sec. 5.1).
-    custom_vsccs: RwLock<HashMap<String, Arc<dyn Vscc>>>,
+    custom_vsccs: Arc<RwLock<HashMap<String, Arc<dyn Vscc>>>>,
     /// VSCC worker-pool width (the "vCPUs" knob of Fig. 7).
     vscc_parallelism: usize,
 }
@@ -69,7 +74,7 @@ impl Committer {
     pub fn new(view: Arc<RwLock<ChannelView>>, vscc_parallelism: usize) -> Self {
         Committer {
             view,
-            custom_vsccs: RwLock::new(HashMap::new()),
+            custom_vsccs: Arc::new(RwLock::new(HashMap::new())),
             vscc_parallelism: vscc_parallelism.max(1),
         }
     }
@@ -83,6 +88,22 @@ impl Committer {
     /// Changes the VSCC worker-pool width.
     pub fn set_vscc_parallelism(&mut self, n: usize) {
         self.vscc_parallelism = n.max(1);
+    }
+
+    /// The configured VSCC worker-pool width.
+    pub fn vscc_parallelism(&self) -> usize {
+        self.vscc_parallelism
+    }
+
+    /// Whether a custom VSCC is registered for the chaincode — such VSCCs
+    /// may read committed state, which the pipeline must order around.
+    pub(crate) fn has_custom_vscc(&self, chaincode: &str) -> bool {
+        self.custom_vsccs.read().contains_key(chaincode)
+    }
+
+    /// The shared channel view (the pipeline updates it on config commits).
+    pub(crate) fn view(&self) -> &Arc<RwLock<ChannelView>> {
+        &self.view
     }
 
     /// Verifies the block's integrity before validation: payload
@@ -167,7 +188,7 @@ impl Committer {
 
     /// Validates one envelope: creator signature, then the chaincode's
     /// VSCC (custom or default-with-committed-policy).
-    fn validate_envelope(&self, ledger: &Ledger, envelope: &Envelope) -> TxValidationCode {
+    pub(crate) fn validate_envelope(&self, ledger: &Ledger, envelope: &Envelope) -> TxValidationCode {
         let view = self.view.read();
         match &envelope.content {
             EnvelopeContent::Config(update) => {

@@ -9,11 +9,16 @@
 pub mod committer;
 pub mod endorser;
 pub mod peer;
+pub mod pipeline;
 pub mod view;
 
 pub use committer::{Committer, ValidationTiming};
 pub use endorser::Endorser;
 pub use peer::{Peer, PeerConfig};
+pub use pipeline::{
+    CommitEvent, PipelineHandle, PipelineOptions, PipelineStats, QueueGauges, StageHistogram,
+    StageSummary,
+};
 pub use view::ChannelView;
 
 /// Errors surfaced by peer operations.
@@ -46,7 +51,7 @@ impl core::fmt::Display for PeerError {
 impl std::error::Error for PeerError {}
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use std::sync::Arc;
 
@@ -64,14 +69,14 @@ mod tests {
     use fabric_primitives::wire::Wire;
 
     /// Test fixture: two orgs, a genesis block, and a peer per org.
-    struct Fixture {
-        ca1: CertificateAuthority,
-        ca2: CertificateAuthority,
-        genesis: Block,
-        channel: ChannelId,
+    pub(crate) struct Fixture {
+        pub(crate) ca1: CertificateAuthority,
+        pub(crate) ca2: CertificateAuthority,
+        pub(crate) genesis: Block,
+        pub(crate) channel: ChannelId,
     }
 
-    fn fixture() -> Fixture {
+    pub(crate) fn fixture() -> Fixture {
         let ca1 = CertificateAuthority::new("ca.org1", "Org1MSP", b"f-s1");
         let ca2 = CertificateAuthority::new("ca.org2", "Org2MSP", b"f-s2");
         let channel = ChannelId::new("ch");
@@ -112,7 +117,7 @@ mod tests {
         }
     }
 
-    fn make_peer(fx: &Fixture, ca: &CertificateAuthority, name: &str) -> Peer {
+    pub(crate) fn make_peer(fx: &Fixture, ca: &CertificateAuthority, name: &str) -> Peer {
         let identity = fabric_msp::issue_identity(ca, name, Role::Peer, name.as_bytes());
         let peer = Peer::join(
             identity,
@@ -130,7 +135,7 @@ mod tests {
     }
 
     /// A tiny KV chaincode: put(key, value) / get(key) / del(key).
-    fn kv_chaincode(stub: &mut Stub<'_>) -> Result<Vec<u8>, String> {
+    pub(crate) fn kv_chaincode(stub: &mut Stub<'_>) -> Result<Vec<u8>, String> {
         match stub.function() {
             "put" => {
                 let key = stub.arg_string(0)?;
@@ -152,7 +157,7 @@ mod tests {
         }
     }
 
-    fn signed_proposal(
+    pub(crate) fn signed_proposal(
         client: &SigningIdentity,
         channel: &ChannelId,
         chaincode: &str,
@@ -178,7 +183,7 @@ mod tests {
     }
 
     /// Assembles a transaction envelope from proposal + responses.
-    fn assemble(
+    pub(crate) fn assemble(
         client: &SigningIdentity,
         signed: &SignedProposal,
         responses: &[fabric_primitives::transaction::ProposalResponse],
@@ -200,7 +205,7 @@ mod tests {
     }
 
     /// Deploys `kvcc` with the given endorsement policy via LSCC.
-    fn deploy_kvcc(
+    pub(crate) fn deploy_kvcc(
         fx: &Fixture,
         peers: &[&Peer],
         policy: &str,
@@ -226,7 +231,7 @@ mod tests {
         assemble(admin, &sp, &responses)
     }
 
-    fn next_block(peer: &Peer, envelopes: Vec<Envelope>) -> Block {
+    pub(crate) fn next_block(peer: &Peer, envelopes: Vec<Envelope>) -> Block {
         let prev = peer.get_block(peer.height() - 1).unwrap().unwrap().hash();
         Block::new(peer.height(), prev, envelopes)
     }

@@ -24,6 +24,7 @@ use fabric_primitives::ChannelId;
 
 use crate::committer::{Committer, ValidationTiming};
 use crate::endorser::Endorser;
+use crate::pipeline::{PipelineHandle, PipelineOptions};
 use crate::view::ChannelView;
 use crate::PeerError;
 
@@ -53,7 +54,7 @@ impl Default for PeerConfig {
 pub struct Peer {
     identity: SigningIdentity,
     channel: ChannelId,
-    ledger: Ledger,
+    ledger: Arc<Ledger>,
     view: Arc<RwLock<ChannelView>>,
     endorser: Endorser,
     committer: Committer,
@@ -85,7 +86,7 @@ impl Peer {
         registry.install(LSCC_NAMESPACE, Arc::new(Lscc));
         let runtime = Arc::new(ChaincodeRuntime::new(registry, config.runtime));
 
-        let ledger = Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?;
+        let ledger = Arc::new(Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?);
         let peer = Peer {
             endorser: Endorser::new(identity.clone(), runtime.clone(), view.clone()),
             committer: Committer::new(view.clone(), config.vscc_parallelism),
@@ -157,6 +158,21 @@ impl Peer {
             }
         }
         Ok((flags, timing))
+    }
+
+    /// Starts the cross-block pipelined committer with default options.
+    ///
+    /// The handle accepts the peer's deliver/gossip block stream (strictly
+    /// in order) and emits a [`crate::pipeline::CommitEvent`] per
+    /// committed block. While the pipeline runs, [`Peer::commit_block`]
+    /// must not be called — the two paths share the ledger.
+    pub fn pipeline(&self) -> PipelineHandle {
+        self.pipeline_with(PipelineOptions::default())
+    }
+
+    /// Starts the pipelined committer with explicit options.
+    pub fn pipeline_with(&self, opts: PipelineOptions) -> PipelineHandle {
+        self.committer.pipeline(self.ledger.clone(), opts)
     }
 
     /// Current ledger height.

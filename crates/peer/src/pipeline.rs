@@ -1,0 +1,993 @@
+//! Cross-block pipelined committer (paper Sec. 5.2's "validation
+//! pipelining" direction).
+//!
+//! The sequential committer processes one block at a time: VSCC →
+//! rw-check → ledger append, then the next block. Since VSCC is by far the
+//! dominant stage (endorsement-policy ECDSA verification) and the other
+//! two are strictly sequential, the peer's cores idle during every
+//! rw-check and ledger write. This module overlaps blocks across stages:
+//!
+//! ```text
+//!            ┌──────────┐   tasks    ┌───────────────┐  completed  ┌───────────┐
+//!  submit ──▶│ admitter │──────────▶│ VSCC worker    │────────────▶│ sequencer │──▶ events
+//!   (blocks) │ (order,  │  (chunks)  │ pool           │ (any order) │ (reorder, │
+//!            │  deps)   │            │ (persistent)   │             │  rw-check,│
+//!            └──────────┘            └───────────────┘             │  commit)  │
+//!                 ▲                                                 └─────┬─────┘
+//!                 └──────────────── committed watermark ◀────────────────┘
+//! ```
+//!
+//! * The **admitter** accepts delivered blocks in strict order, verifies
+//!   block integrity, and decides when block *n+1*'s VSCC may start while
+//!   block *n* is still in rw-check/append (see the ordering invariants
+//!   below). It splits each admitted block into chunk tasks for the pool.
+//! * The **VSCC worker pool** is persistent — no per-block thread
+//!   spawning — and serves chunks from *any* admitted block, so one
+//!   block's tail does not idle the pool while the next block waits.
+//! * The **sequencer** restores strict block order with a reorder buffer
+//!   and runs the stages that must stay sequential: MVCC rw-check,
+//!   metadata flags, ledger append (savepoint), and config view updates.
+//!
+//! # Ordering invariants
+//!
+//! Commit order, MVCC version semantics, and savepoint recovery are
+//! byte-identical to the sequential path because:
+//!
+//! 1. Blocks commit strictly in block-number order (reorder buffer), and
+//!    the rw-check for block *n* runs only after block *n−1*'s ledger
+//!    append — MVCC sees exactly the state the sequential path would.
+//! 2. VSCC for block *n* may overlap earlier blocks only when its reads
+//!    cannot observe their effects:
+//!    * **Config blocks** and blocks writing the LSCC namespace are full
+//!      barriers (the default VSCC reads chaincode definitions from LSCC,
+//!      and config commits swap the channel view).
+//!    * For chaincodes with a **custom VSCC** (which may read committed
+//!      state, e.g. Fabcoin's input coins), the block stalls while any
+//!      in-flight earlier block writes a key in its declared read set or
+//!      inside one of its range queries. Custom VSCCs must only read keys
+//!      declared in the transaction's rw-set — Fabcoin complies (spent
+//!      coins appear as read-and-deleted keys).
+//! 3. The savepoint advances only inside the ordered ledger append, so a
+//!    crash with blocks still queued in the pipeline recovers exactly as
+//!    if those blocks had never been delivered.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use fabric_chaincode::LSCC_NAMESPACE;
+use fabric_ledger::Ledger;
+use fabric_primitives::block::Block;
+use fabric_primitives::ids::TxValidationCode;
+use fabric_primitives::transaction::EnvelopeContent;
+
+use crate::committer::{Committer, ValidationTiming};
+use crate::view::ChannelView;
+use crate::PeerError;
+
+/// Pipeline construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// VSCC worker-pool width; `0` uses the committer's configured
+    /// parallelism (the Fig. 7 knob).
+    pub vscc_workers: usize,
+    /// Bounded capacity of the intake queue — backpressure for the
+    /// deliver/gossip side when validation falls behind.
+    pub intake_capacity: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            vscc_workers: 0,
+            intake_capacity: 64,
+        }
+    }
+}
+
+/// One committed block, emitted by the pipeline in strict block order.
+#[derive(Clone, Debug)]
+pub struct CommitEvent {
+    /// The committed block's number.
+    pub block_num: u64,
+    /// Per-transaction validity mask (same as the sequential path).
+    pub validity: Vec<TxValidationCode>,
+    /// Per-stage wall-clock durations for this block.
+    pub timing: ValidationTiming,
+    /// When the ledger append completed (for end-to-end latency).
+    pub committed_at: Instant,
+}
+
+/// Latency samples for one pipeline stage (Table 1 columns).
+#[derive(Clone, Debug, Default)]
+pub struct StageHistogram {
+    samples_us: Vec<u64>,
+}
+
+impl StageHistogram {
+    fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_micros() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Mean latency.
+    pub fn avg(&self) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        Duration::from_micros(sum / self.samples_us.len() as u64)
+    }
+
+    /// Latency at percentile `p` (0.0–100.0), nearest-rank.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Duration::from_micros(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// The avg/p99/p99.9 summary the Table 1 harness prints.
+    pub fn summary(&self) -> StageSummary {
+        StageSummary {
+            count: self.count(),
+            avg: self.avg(),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: Duration::from_micros(self.samples_us.iter().copied().max().unwrap_or(0)),
+        }
+    }
+}
+
+/// Condensed per-stage latency statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageSummary {
+    /// Number of blocks measured.
+    pub count: usize,
+    /// Mean latency.
+    pub avg: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Worst observed.
+    pub max: Duration,
+}
+
+/// Peak queue depths observed while the pipeline ran.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueGauges {
+    /// Intake queue (delivered blocks waiting for admission).
+    pub intake_peak: usize,
+    /// VSCC chunk-task queue feeding the worker pool.
+    pub vscc_tasks_peak: usize,
+    /// Sequencer reorder buffer (VSCC-done blocks awaiting their turn).
+    pub reorder_peak: usize,
+    /// Blocks the admitter stalled on a read/write or barrier dependency.
+    pub dependency_stalls: usize,
+}
+
+/// Aggregate statistics for one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Transactions committed (valid or not).
+    pub txs: u64,
+    /// Stage 1 (parallel VSCC) latency per block.
+    pub vscc: StageHistogram,
+    /// Stage 2 (sequential rw-check) latency per block.
+    pub rw_check: StageHistogram,
+    /// Stage 3 (ledger append) latency per block.
+    pub ledger: StageHistogram,
+    /// Whole-validation latency per block.
+    pub total: StageHistogram,
+    /// Peak queue depths.
+    pub queues: QueueGauges,
+}
+
+/// State shared by the pipeline threads and the handle.
+struct Shared {
+    committer: Committer,
+    ledger: Arc<Ledger>,
+    /// Ledger height committed by the pipeline (blocks `0..watermark`).
+    watermark: Mutex<u64>,
+    watermark_cv: Condvar,
+    /// Set on error or abort; no further blocks will commit.
+    stopped: AtomicBool,
+    error: Mutex<Option<PeerError>>,
+    stats: Mutex<PipelineStats>,
+}
+
+impl Shared {
+    fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Records the first error and halts the pipeline.
+    fn fail(&self, err: PeerError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.halt();
+    }
+
+    fn halt(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        let _height = self.watermark.lock();
+        self.watermark_cv.notify_all();
+    }
+
+    fn advance(&self, height: u64) {
+        *self.watermark.lock() = height;
+        self.watermark_cv.notify_all();
+    }
+}
+
+/// Per-block VSCC work unit shared by the pool's chunk tasks.
+struct VsccJob {
+    block: Arc<Block>,
+    flags: Mutex<Vec<TxValidationCode>>,
+    /// Chunk tasks not yet finished; the last finisher forwards the job.
+    remaining: AtomicUsize,
+    dispatched: Instant,
+}
+
+/// One chunk of a block's envelopes for a pool worker.
+struct VsccTask {
+    job: Arc<VsccJob>,
+    start: usize,
+    len: usize,
+}
+
+/// A block whose VSCC stage finished (possibly out of order).
+struct CompletedVscc {
+    job: Arc<VsccJob>,
+    vscc: Duration,
+}
+
+/// What the admitter must know about a dispatched-but-uncommitted block.
+struct InflightBlock {
+    number: u64,
+    /// `(namespace, key)` pairs written (or deleted) by any transaction.
+    writes: HashSet<(String, String)>,
+    /// Config block or LSCC writer: bars all later VSCC until committed.
+    barrier: bool,
+}
+
+/// Read/write footprint of a block, as the admitter's stall rules see it.
+struct BlockProfile {
+    /// This block must not overlap anything (config / LSCC writer).
+    barrier: bool,
+    writes: HashSet<(String, String)>,
+    /// Keys read by transactions validated by a state-reading custom VSCC.
+    custom_reads: HashSet<(String, String)>,
+    /// `(namespace, start, end)` ranges read by custom-VSCC transactions.
+    custom_ranges: Vec<(String, String, String)>,
+}
+
+impl BlockProfile {
+    fn analyze(block: &Block, committer: &Committer) -> Self {
+        let mut profile = BlockProfile {
+            barrier: block.is_config_block(),
+            writes: HashSet::new(),
+            custom_reads: HashSet::new(),
+            custom_ranges: Vec::new(),
+        };
+        for envelope in &block.envelopes {
+            let EnvelopeContent::Transaction(tx) = &envelope.content else {
+                profile.barrier = true;
+                continue;
+            };
+            let custom = committer.has_custom_vscc(&tx.response_payload.chaincode.name);
+            for ns in &tx.response_payload.rwset.ns_rwsets {
+                if ns.namespace == LSCC_NAMESPACE && !ns.writes.is_empty() {
+                    profile.barrier = true;
+                }
+                for write in &ns.writes {
+                    profile
+                        .writes
+                        .insert((ns.namespace.clone(), write.key.clone()));
+                }
+                if custom {
+                    for read in &ns.reads {
+                        profile
+                            .custom_reads
+                            .insert((ns.namespace.clone(), read.key.clone()));
+                    }
+                    for query in &ns.range_queries {
+                        profile.custom_ranges.push((
+                            ns.namespace.clone(),
+                            query.start_key.clone(),
+                            query.end_key.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    /// Would this block's custom-VSCC reads observe `writes`?
+    fn reads_intersect(&self, writes: &HashSet<(String, String)>) -> bool {
+        if self.custom_reads.iter().any(|key| writes.contains(key)) {
+            return true;
+        }
+        if self.custom_ranges.is_empty() {
+            return false;
+        }
+        writes.iter().any(|(ns, key)| {
+            self.custom_ranges.iter().any(|(qns, start, end)| {
+                qns == ns && key.as_str() >= start.as_str() && (end.is_empty() || key.as_str() < end.as_str())
+            })
+        })
+    }
+}
+
+impl Committer {
+    /// Starts a cross-block pipelined committer over `ledger`.
+    ///
+    /// The returned handle accepts a stream of delivered blocks
+    /// ([`PipelineHandle::submit`], strictly in block order) and emits one
+    /// [`CommitEvent`] per committed block. While the pipeline runs, no
+    /// other code path may commit to the same ledger.
+    pub fn pipeline(&self, ledger: Arc<Ledger>, opts: PipelineOptions) -> PipelineHandle {
+        let workers = if opts.vscc_workers == 0 {
+            self.vscc_parallelism()
+        } else {
+            opts.vscc_workers
+        }
+        .max(1);
+        let start_height = ledger.height();
+        let shared = Arc::new(Shared {
+            committer: self.clone(),
+            ledger,
+            watermark: Mutex::new(start_height),
+            watermark_cv: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            error: Mutex::new(None),
+            stats: Mutex::new(PipelineStats::default()),
+        });
+
+        let (intake_tx, intake_rx) = bounded::<Block>(opts.intake_capacity.max(1));
+        let (task_tx, task_rx) = unbounded::<VsccTask>();
+        let (done_tx, done_rx) = unbounded::<CompletedVscc>();
+        let (event_tx, event_rx) = unbounded::<CommitEvent>();
+
+        let mut threads = Vec::with_capacity(workers + 2);
+        for i in 0..workers {
+            let shared = shared.clone();
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("vscc-worker-{i}"))
+                    .spawn(move || vscc_worker(&shared, &task_rx, &done_tx))
+                    .expect("spawn vscc worker"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("commit-admitter".into())
+                    .spawn(move || {
+                        admitter(&shared, &intake_rx, &task_tx, &done_tx, workers, start_height)
+                    })
+                    .expect("spawn admitter"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("commit-sequencer".into())
+                    .spawn(move || sequencer(&shared, &done_rx, &event_tx, start_height))
+                    .expect("spawn sequencer"),
+            );
+        }
+
+        PipelineHandle {
+            shared,
+            intake: Some(intake_tx),
+            events: event_rx,
+            threads,
+        }
+    }
+}
+
+/// Pool worker: validate chunks from any admitted block.
+fn vscc_worker(shared: &Shared, tasks: &Receiver<VsccTask>, done: &Sender<CompletedVscc>) {
+    while let Ok(task) = tasks.recv() {
+        let envelopes = &task.job.block.envelopes[task.start..task.start + task.len];
+        let mut local = Vec::with_capacity(task.len);
+        for envelope in envelopes {
+            local.push(shared.committer.validate_envelope(&shared.ledger, envelope));
+        }
+        task.job.flags.lock()[task.start..task.start + task.len].copy_from_slice(&local);
+        // The last chunk to finish forwards the block to the sequencer.
+        if task.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let vscc = task.job.dispatched.elapsed();
+            let _ = done.send(CompletedVscc { job: task.job, vscc });
+        }
+    }
+}
+
+/// Admission thread: order check, dependency stalls, chunk dispatch.
+fn admitter(
+    shared: &Shared,
+    intake: &Receiver<Block>,
+    tasks: &Sender<VsccTask>,
+    done: &Sender<CompletedVscc>,
+    workers: usize,
+    mut next_expected: u64,
+) {
+    let mut inflight: VecDeque<InflightBlock> = VecDeque::new();
+    'accept: while let Ok(block) = intake.recv() {
+        if shared.is_stopped() {
+            return;
+        }
+        if block.header.number != next_expected {
+            shared.fail(PeerError::BadBlock(format!(
+                "pipeline expected block {next_expected}, got {}",
+                block.header.number
+            )));
+            return;
+        }
+        next_expected += 1;
+
+        let profile = BlockProfile::analyze(&block, &shared.committer);
+
+        // Stall until no in-flight (dispatched, uncommitted) block can be
+        // observed by this block's VSCC reads.
+        {
+            let mut stalled = false;
+            let mut height = shared.watermark.lock();
+            loop {
+                if shared.is_stopped() {
+                    return;
+                }
+                while inflight.front().is_some_and(|w| w.number < *height) {
+                    inflight.pop_front();
+                }
+                let conflict = inflight.iter().any(|w| w.barrier)
+                    || (profile.barrier && !inflight.is_empty())
+                    || inflight.iter().any(|w| profile.reads_intersect(&w.writes));
+                if !conflict {
+                    break;
+                }
+                stalled = true;
+                height = shared
+                    .watermark_cv
+                    .wait(height)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+            if stalled {
+                shared.stats.lock().queues.dependency_stalls += 1;
+            }
+        }
+
+        // Integrity + orderer signature, against a view that is now stable
+        // (config blocks are barriers, so no view swap can be in flight).
+        if let Err(err) = shared.committer.verify_block(&block) {
+            shared.fail(err);
+            return;
+        }
+
+        let n = block.envelopes.len();
+        let n_tasks = if n == 0 {
+            1
+        } else {
+            n.div_ceil(n.div_ceil(workers.min(n)))
+        };
+        let job = Arc::new(VsccJob {
+            block: Arc::new(block),
+            flags: Mutex::new(vec![TxValidationCode::NotValidated; n]),
+            remaining: AtomicUsize::new(n_tasks),
+            dispatched: Instant::now(),
+        });
+        inflight.push_back(InflightBlock {
+            number: job.block.header.number,
+            writes: profile.writes,
+            barrier: profile.barrier,
+        });
+        if n == 0 {
+            if done
+                .send(CompletedVscc {
+                    job,
+                    vscc: Duration::ZERO,
+                })
+                .is_err()
+            {
+                break 'accept;
+            }
+        } else {
+            let chunk = n.div_ceil(workers.min(n));
+            for start in (0..n).step_by(chunk) {
+                let task = VsccTask {
+                    job: job.clone(),
+                    start,
+                    len: chunk.min(n - start),
+                };
+                if tasks.send(task).is_err() {
+                    break 'accept;
+                }
+            }
+        }
+
+        let mut stats = shared.stats.lock();
+        stats.queues.intake_peak = stats.queues.intake_peak.max(intake.len());
+        stats.queues.vscc_tasks_peak = stats.queues.vscc_tasks_peak.max(tasks.len());
+    }
+    // Dropping the task/done senders lets the workers and sequencer drain
+    // what was dispatched and then exit.
+}
+
+/// Sequencer: restore block order, run rw-check + ledger append, emit.
+fn sequencer(
+    shared: &Shared,
+    done: &Receiver<CompletedVscc>,
+    events: &Sender<CommitEvent>,
+    mut next_commit: u64,
+) {
+    let mut reorder: BTreeMap<u64, CompletedVscc> = BTreeMap::new();
+    while let Ok(completed) = done.recv() {
+        if shared.is_stopped() {
+            return;
+        }
+        reorder.insert(completed.job.block.header.number, completed);
+        {
+            let mut stats = shared.stats.lock();
+            stats.queues.reorder_peak = stats.queues.reorder_peak.max(reorder.len());
+        }
+        while let Some(ready) = reorder.remove(&next_commit) {
+            match commit_in_order(shared, &ready) {
+                Ok(event) => {
+                    next_commit += 1;
+                    // Queue the event before advancing the watermark, so a
+                    // thread woken by `wait_committed` always finds the
+                    // events of every committed block already buffered.
+                    let _ = events.send(event);
+                    shared.advance(next_commit);
+                }
+                Err(err) => {
+                    shared.fail(err);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The strictly sequential tail of validation for one block.
+fn commit_in_order(shared: &Shared, completed: &CompletedVscc) -> Result<CommitEvent, PeerError> {
+    let block = &completed.job.block;
+    let mut flags = std::mem::take(&mut *completed.job.flags.lock());
+    let mut timing = ValidationTiming {
+        vscc: completed.vscc,
+        ..Default::default()
+    };
+
+    let start = Instant::now();
+    shared
+        .ledger
+        .mvcc_validate(block, &mut flags)
+        .map_err(PeerError::Ledger)?;
+    timing.rw_check = start.elapsed();
+
+    let start = Instant::now();
+    let mut committed = (**block).clone();
+    committed.metadata.validation = flags.clone();
+    shared.ledger.commit(&committed).map_err(PeerError::Ledger)?;
+    timing.ledger = start.elapsed();
+
+    // Apply a committed valid config block to the channel view (the same
+    // rule `Peer::commit_block` applies on the sequential path).
+    if committed.is_config_block() && flags.first() == Some(&TxValidationCode::Valid) {
+        if let EnvelopeContent::Config(update) = &committed.envelopes[0].content {
+            *shared.committer.view().write() = ChannelView::new(update.config.clone())?;
+        }
+    }
+
+    {
+        let mut stats = shared.stats.lock();
+        stats.blocks += 1;
+        stats.txs += flags.len() as u64;
+        stats.vscc.record(timing.vscc);
+        stats.rw_check.record(timing.rw_check);
+        stats.ledger.record(timing.ledger);
+        stats.total.record(timing.total());
+    }
+
+    Ok(CommitEvent {
+        block_num: block.header.number,
+        validity: flags,
+        timing,
+        committed_at: Instant::now(),
+    })
+}
+
+/// Handle to a running pipelined committer.
+///
+/// Dropping the handle closes the intake and waits for every submitted
+/// block to commit (graceful drain); use [`PipelineHandle::abort`] to
+/// simulate a crash with blocks still queued.
+pub struct PipelineHandle {
+    shared: Arc<Shared>,
+    intake: Option<Sender<Block>>,
+    events: Receiver<CommitEvent>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl PipelineHandle {
+    /// Feeds the next delivered block. Blocks for backpressure when the
+    /// intake queue is full; errors if the pipeline has stopped.
+    pub fn submit(&self, block: Block) -> Result<(), PeerError> {
+        if self.shared.is_stopped() {
+            return Err(self.take_error());
+        }
+        let intake = self.intake.as_ref().expect("intake open until close");
+        match intake.send(block) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(self.take_error()),
+        }
+    }
+
+    /// A clonable receiver of commit events (strict block order). Keep one
+    /// to drain events that arrive after [`PipelineHandle::close`].
+    pub fn events(&self) -> Receiver<CommitEvent> {
+        self.events.clone()
+    }
+
+    /// Next committed event without blocking.
+    pub fn try_event(&self) -> Option<CommitEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Next committed event, waiting; `None` once the pipeline has
+    /// finished and all events were consumed.
+    pub fn recv_event(&self) -> Option<CommitEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Ledger height the pipeline has committed up to.
+    pub fn committed_height(&self) -> u64 {
+        *self.shared.watermark.lock()
+    }
+
+    /// Blocks until the committed height reaches `height` (or the
+    /// pipeline stops with an error).
+    pub fn wait_committed(&self, height: u64) -> Result<(), PeerError> {
+        let mut committed = self.shared.watermark.lock();
+        while *committed < height {
+            if self.shared.is_stopped() {
+                drop(committed);
+                return Err(self.take_error());
+            }
+            committed = self
+                .shared
+                .watermark_cv
+                .wait(committed)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the running statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Closes the intake, drains every submitted block, and returns the
+    /// final statistics (or the first error).
+    pub fn close(mut self) -> Result<PipelineStats, PeerError> {
+        drop(self.intake.take());
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        if let Some(err) = self.shared.error.lock().take() {
+            return Err(err);
+        }
+        Ok(self.shared.stats.lock().clone())
+    }
+
+    /// Hard stop: abandons queued and in-flight blocks without committing
+    /// them (crash simulation). The ledger is left at the last fully
+    /// committed block — exactly what savepoint recovery expects.
+    pub fn abort(mut self) {
+        self.shared.halt();
+        drop(self.intake.take());
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    fn take_error(&self) -> PeerError {
+        self.shared
+            .error
+            .lock()
+            .take()
+            .unwrap_or_else(|| PeerError::BadBlock("committer pipeline stopped".into()))
+    }
+}
+
+impl Drop for PipelineHandle {
+    fn drop(&mut self) {
+        drop(self.intake.take());
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests as fx;
+    use crate::{Peer, PeerError};
+
+    use fabric_chaincode::Vscc;
+    use fabric_msp::{MspRegistry, Role};
+    use fabric_primitives::transaction::{Envelope, Transaction};
+
+    /// Builds `n_blocks` blocks of `txs_per_block` signed kvcc puts on
+    /// disjoint keys, committed progressively on `builder` so every
+    /// simulation sees fresh state. Returns them with the deploy block
+    /// first.
+    fn build_put_chain(
+        fixture: &fx::Fixture,
+        builder: &Peer,
+        admin: &fabric_msp::SigningIdentity,
+        client: &fabric_msp::SigningIdentity,
+        n_blocks: u8,
+        txs_per_block: u8,
+    ) -> Vec<Block> {
+        let deploy = fx::deploy_kvcc(fixture, &[builder], "Org1MSP", admin);
+        let mut blocks = vec![fx::next_block(builder, vec![deploy])];
+        builder.commit_block(&blocks[0]).unwrap();
+        for b in 0..n_blocks {
+            let envelopes: Vec<Envelope> = (0..txs_per_block)
+                .map(|i| {
+                    let sp = fx::signed_proposal(
+                        client,
+                        &fixture.channel,
+                        "kvcc",
+                        "put",
+                        vec![format!("b{b}k{i}").into_bytes(), vec![b, i]],
+                        [b.wrapping_mul(31).wrapping_add(i).wrapping_add(1); 32],
+                    );
+                    let response = builder.process_proposal(&sp).unwrap();
+                    fx::assemble(client, &sp, &[response])
+                })
+                .collect();
+            let block = fx::next_block(builder, envelopes);
+            builder.commit_block(&block).unwrap();
+            blocks.push(block);
+        }
+        blocks
+    }
+
+    #[test]
+    fn empty_pipeline_closes_clean() {
+        let fixture = fx::fixture();
+        let peer = fx::make_peer(&fixture, &fixture.ca1, "peer0.org1");
+        let stats = peer.pipeline().close().unwrap();
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(stats.txs, 0);
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_masks_and_state() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+        let blocks = build_put_chain(&fixture, &builder, &admin, &client, 4, 6);
+
+        // Sequential reference.
+        let sequential = fx::make_peer(&fixture, &fixture.ca1, "seq.org1");
+        let mut expected_masks = Vec::new();
+        for block in &blocks {
+            let (flags, _) = sequential.commit_block(block).unwrap();
+            expected_masks.push(flags);
+        }
+
+        // Pipelined peer: the deploy block is an LSCC barrier, the rest
+        // overlap freely.
+        let pipelined = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        let handle = pipelined.pipeline_with(PipelineOptions {
+            vscc_workers: 4,
+            intake_capacity: 2,
+        });
+        let events = handle.events();
+        for block in &blocks {
+            handle.submit(block.clone()).unwrap();
+        }
+        handle.wait_committed(blocks.len() as u64 + 1).unwrap();
+        let stats = handle.close().unwrap();
+
+        assert_eq!(stats.blocks, blocks.len() as u64);
+        assert_eq!(pipelined.height(), sequential.height());
+        let mut got_masks = Vec::new();
+        let mut last_num = 0;
+        while let Ok(event) = events.try_recv() {
+            assert_eq!(event.block_num, last_num + 1, "events in block order");
+            last_num = event.block_num;
+            got_masks.push(event.validity);
+        }
+        assert_eq!(got_masks, expected_masks);
+        // Persisted flags and state are byte-identical.
+        for number in 0..sequential.height() {
+            assert_eq!(
+                pipelined.get_block(number).unwrap().unwrap().metadata.validation,
+                sequential.get_block(number).unwrap().unwrap().metadata.validation
+            );
+        }
+        assert_eq!(
+            pipelined.ledger().last_hash(),
+            sequential.ledger().last_hash()
+        );
+        assert_eq!(
+            pipelined.scan_state("kvcc", "", "").unwrap(),
+            sequential.scan_state("kvcc", "", "").unwrap()
+        );
+        assert!(stats.vscc.count() == blocks.len());
+        assert!(stats.total.avg() >= stats.rw_check.avg());
+    }
+
+    #[test]
+    fn out_of_order_submission_fails_pipeline() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+        let blocks = build_put_chain(&fixture, &builder, &admin, &client, 2, 2);
+
+        let peer = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        let handle = peer.pipeline();
+        handle.submit(blocks[1].clone()).unwrap(); // expects block 1, gets 2
+        assert!(matches!(handle.close(), Err(PeerError::BadBlock(_))));
+        assert_eq!(peer.height(), 1, "nothing committed past genesis");
+    }
+
+    /// Custom VSCC that reads the committed value of one key: valid only
+    /// if the value matches what the preceding block must have written.
+    /// Transactions not reading the key sleep instead, widening the race
+    /// window a missing dependency stall would expose.
+    struct ReadExpectVscc {
+        key: String,
+        expect: Vec<u8>,
+    }
+
+    impl Vscc for ReadExpectVscc {
+        fn validate(
+            &self,
+            tx: &Transaction,
+            _msp: &MspRegistry,
+            _channel_orgs: &[String],
+            ledger: &fabric_ledger::Ledger,
+        ) -> TxValidationCode {
+            let reads_key = tx
+                .response_payload
+                .rwset
+                .ns_rwsets
+                .iter()
+                .any(|ns| ns.reads.iter().any(|r| r.key == self.key));
+            if !reads_key {
+                std::thread::sleep(Duration::from_millis(20));
+                return TxValidationCode::Valid;
+            }
+            match ledger.get_state("kvcc", &self.key) {
+                Ok(Some(value)) if value == self.expect => TxValidationCode::Valid,
+                _ => TxValidationCode::EndorsementPolicyFailure,
+            }
+        }
+    }
+
+    #[test]
+    fn custom_vscc_read_waits_for_writer_block() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+
+        let deploy = fx::deploy_kvcc(&fixture, &[&builder], "Org1MSP", &admin);
+        let deploy_block = fx::next_block(&builder, vec![deploy]);
+        builder.commit_block(&deploy_block).unwrap();
+        // Block 2 writes dep=v1 (slow VSCC on the pipelined peer).
+        let sp = fx::signed_proposal(
+            &client,
+            &fixture.channel,
+            "kvcc",
+            "put",
+            vec![b"dep".to_vec(), b"v1".to_vec()],
+            [0x51; 32],
+        );
+        let response = builder.process_proposal(&sp).unwrap();
+        let writer_block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+        builder.commit_block(&writer_block).unwrap();
+        // Block 3 reads dep (its rw-set declares the read), so its VSCC
+        // must observe v1 — the post-commit value of block 2.
+        let sp = fx::signed_proposal(
+            &client,
+            &fixture.channel,
+            "kvcc",
+            "get",
+            vec![b"dep".to_vec()],
+            [0x52; 32],
+        );
+        let response = builder.process_proposal(&sp).unwrap();
+        let reader_block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+        builder.commit_block(&reader_block).unwrap();
+
+        let pipelined = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        pipelined.register_vscc(
+            "kvcc",
+            Arc::new(ReadExpectVscc {
+                key: "dep".into(),
+                expect: b"v1".to_vec(),
+            }),
+        );
+        let handle = pipelined.pipeline_with(PipelineOptions {
+            vscc_workers: 4,
+            intake_capacity: 8,
+        });
+        let events = handle.events();
+        handle.submit(deploy_block).unwrap();
+        handle.submit(writer_block).unwrap();
+        handle.submit(reader_block).unwrap();
+        handle.wait_committed(4).unwrap();
+        let stats = handle.close().unwrap();
+        let masks: Vec<Vec<TxValidationCode>> =
+            std::iter::from_fn(|| events.try_recv().ok().map(|e| e.validity)).collect();
+        assert_eq!(
+            masks,
+            vec![
+                vec![TxValidationCode::Valid],
+                vec![TxValidationCode::Valid],
+                vec![TxValidationCode::Valid],
+            ],
+            "reader block's VSCC must see the writer block's committed value"
+        );
+        assert!(
+            stats.queues.dependency_stalls >= 1,
+            "the reader block must have stalled on the writer"
+        );
+    }
+
+    #[test]
+    fn abort_preserves_committed_prefix() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+        let blocks = build_put_chain(&fixture, &builder, &admin, &client, 5, 2);
+
+        let peer = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        let handle = peer.pipeline();
+        for block in &blocks {
+            handle.submit(block.clone()).unwrap();
+        }
+        handle.wait_committed(3).unwrap();
+        handle.abort();
+        let height = peer.height();
+        assert!(height >= 3, "waited-for prefix must be committed");
+        // The ledger tip is consistent: savepoint == last block.
+        assert_eq!(peer.ledger().ptm().savepoint(), Some(height - 1));
+    }
+}

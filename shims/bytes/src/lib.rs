@@ -1,0 +1,160 @@
+//! In-tree stand-in for the `bytes` crate, so the workspace builds
+//! without network access to crates.io.
+//!
+//! Provides the subset the wire codec uses: a growable [`BytesMut`]
+//! buffer, the [`BufMut`] little-endian writers, and a [`Buf`] reader
+//! implemented for `&[u8]` that consumes the slice as it reads.
+
+/// Sequential byte reader; reading advances the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes; panics if fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte; panics if empty.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u32`; panics if under 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Reads a little-endian `u64`; panics if under 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    /// Fills `dest` from the front; panics if not enough bytes remain.
+    fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        dest.copy_from_slice(&self.chunk()[..dest.len()]);
+        self.advance(dest.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Sequential byte writer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer (a thin `Vec<u8>` wrapper here).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty buffer with `cap` reserved bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Consumes the buffer into a `Vec` without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl core::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(42);
+        buf.put_slice(b"xy");
+        let vec = buf.to_vec();
+        let mut reader: &[u8] = &vec;
+        assert_eq!(reader.remaining(), 15);
+        assert_eq!(reader.get_u8(), 7);
+        assert_eq!(reader.get_u32_le(), 0xdead_beef);
+        assert_eq!(reader.get_u64_le(), 42);
+        let mut tail = [0u8; 2];
+        reader.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert_eq!(reader.remaining(), 0);
+    }
+}

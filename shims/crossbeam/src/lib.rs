@@ -1,0 +1,10 @@
+//! In-tree stand-in for the `crossbeam` crate, so the workspace builds
+//! without network access to crates.io.
+//!
+//! Provides the subset the workspace uses: `crossbeam::channel` (MPMC
+//! bounded/unbounded channels with timeout receives) and
+//! `crossbeam::thread::scope` (scoped spawns whose closures receive the
+//! scope, layered over `std::thread::scope`).
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,66 @@
+//! Scoped threads in the shape of `crossbeam::thread`: the spawn closure
+//! receives the scope (so workers can spawn more workers), and `scope`
+//! returns a `Result`. Layered on `std::thread::scope`; a panicking child
+//! propagates its panic out of `scope` (std semantics) rather than
+//! surfacing through the `Err` arm, which is equivalent for callers that
+//! `expect` the result.
+
+use std::any::Any;
+
+/// A spawn scope; lives for the duration of the [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread whose closure receives the scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 4];
+        scope(|s| {
+            for (slot, value) in results.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = value * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! In-tree stand-in for the `proptest` crate, so the workspace builds
+//! without network access to crates.io.
+//!
+//! Implements the generation side of the proptest API surface this
+//! workspace uses: the [`Strategy`] trait with `prop_map`, `any::<T>()`,
+//! integer-range / tuple / array / collection / option / string-regex
+//! strategies, `prop::sample::Index`, the `proptest!` macro (with
+//! `#![proptest_config(..)]`), and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! **No shrinking**: a failing case reports its deterministic case seed
+//! instead of a minimized input. Cases are derived from the test's module
+//! path and name, so runs are reproducible; set `PROPTEST_CASES` to scale
+//! the case count.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Strategy modules in the `prop::` namespace used by test code.
+pub mod prop {
+    pub use crate::strategy::{array, collection, option, sample};
+}
+
+/// Produces the canonical strategy for a type (`any::<u64>()`, …).
+pub fn any<A: strategy::Arbitrary>() -> strategy::Any<A> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// Everything a proptest-based test file usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases = config.effective_cases();
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}/{cases}: {e}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u8..10, (a, b) in (1usize..4, any::<u64>())) {
+            prop_assert!(x < 10);
+            prop_assert!((1..4).contains(&a));
+            let _ = b;
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn collections_and_options(
+            v in prop::collection::vec(any::<u8>(), 3..6),
+            o in prop::option::of(0u32..5),
+            arr in prop::array::uniform4(any::<u64>()),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            if let Some(x) = o { prop_assert!(x < 5); }
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let s = crate::Strategy::generate(&"[a-z]{8}", &mut a);
+        let t = crate::Strategy::generate(&"[a-z]{8}", &mut b);
+        assert_eq!(s, t);
+    }
+}

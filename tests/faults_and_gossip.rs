@@ -11,7 +11,7 @@ use fabric::kvstore::MemBackend;
 use fabric::msp::Role;
 use fabric::ordering::testkit::{make_envelope, TestNet};
 use fabric::ordering::OrderingCluster;
-use fabric::peer::{Peer, PeerConfig, PeerError};
+use fabric::peer::{Peer, PeerConfig, PeerError, PipelineHandle};
 use fabric::primitives::block::Block;
 use fabric::primitives::config::{BatchConfig, ConsensusType};
 use fabric::primitives::rwset::TxReadWriteSet;
@@ -147,6 +147,11 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
         })
         .collect();
 
+    // Every peer's gossip intake feeds its pipelined committer; blocks
+    // validate and commit asynchronously while gossip keeps routing.
+    let handles: Vec<PipelineHandle> = peers.iter().map(|p| p.pipeline()).collect();
+    let mut next_submit: Vec<u64> = peers.iter().map(|p| p.height()).collect();
+
     // Drive gossip: leaders pull from ordering, outputs route messages and
     // block deliveries.
     let mut pending: std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)> =
@@ -167,18 +172,27 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
                                 block.to_wire(),
                             );
                             for m in more {
-                                route(node_id, m, &mut pending, &peers, idx, &mut gossips);
+                                route(node_id, m, &mut pending, &handles, &mut next_submit, idx);
                             }
                         }
                     }
-                    other => route(node_id, other, &mut pending, &peers, idx, &mut gossips),
+                    other => {
+                        route(node_id, other, &mut pending, &handles, &mut next_submit, idx)
+                    }
                 }
             }
         }
         while let Some((from, to, message)) = pending.pop_front() {
             let outputs = gossips[(to - 1) as usize].step(from, message);
             for output in outputs {
-                route(to, output, &mut pending, &peers, (to - 1) as usize, &mut gossips);
+                route(
+                    to,
+                    output,
+                    &mut pending,
+                    &handles,
+                    &mut next_submit,
+                    (to - 1) as usize,
+                );
             }
         }
     }
@@ -187,17 +201,21 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
         from: u64,
         output: GossipOutput,
         pending: &mut std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)>,
-        peers: &[Peer],
+        handles: &[PipelineHandle],
+        next_submit: &mut [u64],
         peer_idx: usize,
-        _gossips: &mut [GossipNode],
     ) {
         match output {
             GossipOutput::Send { to, message } => pending.push_back((from, to, message)),
             GossipOutput::DeliverBlock { payload, .. } => {
                 let block = Block::from_wire(&payload).expect("valid block");
-                // Peers commit blocks as gossip delivers them in order.
-                if block.header.number == peers[peer_idx].height() {
-                    peers[peer_idx].commit_block(&block).expect("commit");
+                // Gossip redelivers; feed each block to the pipeline once,
+                // in order.
+                if block.header.number == next_submit[peer_idx] {
+                    handles[peer_idx]
+                        .submit(block)
+                        .expect("pipeline accepts gossip block");
+                    next_submit[peer_idx] += 1;
                 }
             }
             GossipOutput::PullFromOrderer { .. } => {}
@@ -205,6 +223,11 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
     }
 
     // All peers converged to the full chain (5 tx blocks + genesis).
+    for (i, handle) in handles.into_iter().enumerate() {
+        handle.wait_committed(6).expect("pipeline drains");
+        let stats = handle.close().expect("pipeline closes clean");
+        assert_eq!(stats.blocks, 5, "peer {i} committed the 5 tx blocks");
+    }
     for (i, peer) in peers.iter().enumerate() {
         assert_eq!(peer.height(), 6, "peer {i} converged via gossip");
     }
@@ -271,6 +294,29 @@ fn tampered_block_from_gossip_rejected_by_peer() {
 
     // The genuine block still commits.
     peer.commit_block(&block).expect("authentic block accepted");
+
+    // The same tampering fed through the pipelined committer: the admitter
+    // verifies integrity before VSCC, the pipeline stops with the error,
+    // and nothing reaches the ledger.
+    let identity2 = fabric::msp::issue_identity(&net.org_cas[0], "p2", Role::Peer, b"p2");
+    let peer2 = Peer::join(
+        identity2,
+        &genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig::default(),
+    )
+    .unwrap();
+    let handle = peer2.pipeline();
+    handle.submit(tampered).expect("submission only queues");
+    assert!(matches!(handle.close(), Err(PeerError::BadBlock(_))));
+    assert_eq!(peer2.height(), 1, "tampered block never committed");
+
+    // A fresh pipeline on the same peer accepts the genuine block.
+    let handle = peer2.pipeline();
+    handle.submit(block).expect("genuine block accepted");
+    handle.wait_committed(2).expect("commits");
+    handle.close().expect("clean close");
+    assert_eq!(peer2.height(), 2);
 }
 
 #[test]
