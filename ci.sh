@@ -4,6 +4,10 @@
 #  1. Tier-1 (ROADMAP.md): release build + full quiet test suite.
 #  2. The peer crate (committer + pipeline) builds warning-free and its
 #     unit tests pass on their own — new warnings in fabric-peer fail CI.
+#  3. The statesync crate passes clippy with -D warnings.
+#  4. The snapshot catch-up bench completes a smoke sweep (~10 s) —
+#     catches bit-rot in the join_from_snapshot / snapshot wire path
+#     that unit tests alone might miss.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -21,5 +25,16 @@ echo "== fabric-peer: warning gate (RUSTFLAGS=-Dwarnings) =="
 find crates/peer/src -name '*.rs' -exec touch {} +
 RUSTFLAGS="-Dwarnings" cargo build -p fabric-peer
 RUSTFLAGS="-Dwarnings" cargo test -q -p fabric-peer
+
+echo "== fabric-statesync: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/statesync/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-statesync --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint gate"
+fi
+
+echo "== catch-up bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

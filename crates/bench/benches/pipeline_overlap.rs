@@ -216,6 +216,7 @@ fn main() {
         let handle = pipe_peer.pipeline_with(PipelineOptions {
             vscc_workers: w,
             intake_capacity: 64,
+            ..PipelineOptions::default()
         });
         let final_height = measured.last().unwrap().header.number + 1;
         let t0 = Instant::now();

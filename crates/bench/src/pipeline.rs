@@ -285,6 +285,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
     let handle = peer.pipeline_with(PipelineOptions {
         vscc_workers: cfg.vscc_parallelism,
         intake_capacity: 64,
+        ..PipelineOptions::default()
     });
     // Block number → tx ids, so commit events can be matched back to the
     // transactions' send timestamps.

@@ -88,9 +88,9 @@ impl Modulus {
             // t += a * b[i]
             let bi = b.0[i] as u128;
             let mut carry: u128 = 0;
-            for j in 0..4 {
-                let acc = t[j] as u128 + a.0[j] as u128 * bi + carry;
-                t[j] = acc as u64;
+            for (tj, aj) in t.iter_mut().zip(&a.0) {
+                let acc = *tj as u128 + *aj as u128 * bi + carry;
+                *tj = acc as u64;
                 carry = acc >> 64;
             }
             let acc = t[4] as u128 + carry;

@@ -46,7 +46,7 @@ pub fn hex(bytes: &[u8]) -> String {
 ///
 /// Returns `None` on odd length or non-hex characters.
 pub fn unhex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -100,9 +100,9 @@ impl U256 {
     pub fn adc(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let sum = self.0[i] as u128 + other.0[i] as u128 + carry as u128;
-            out[i] = sum as u64;
+        for (o, (s, r)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let sum = *s as u128 + *r as u128 + carry as u128;
+            *o = sum as u64;
             carry = (sum >> 64) as u64;
         }
         (U256(out), carry != 0)
@@ -112,10 +112,10 @@ impl U256 {
     pub fn sbb(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (s, r)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            let (d1, b1) = s.overflowing_sub(*r);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 | b2) as u64;
         }
         (U256(out), borrow != 0)
@@ -162,9 +162,9 @@ impl U256 {
     pub fn shl1(&self) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            out[i] = (self.0[i] << 1) | carry;
-            carry = self.0[i] >> 63;
+        for (o, s) in out.iter_mut().zip(&self.0) {
+            *o = (s << 1) | carry;
+            carry = s >> 63;
         }
         U256(out)
     }

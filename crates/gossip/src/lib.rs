@@ -61,6 +61,24 @@ impl Default for GossipConfig {
     }
 }
 
+/// One peer's entry in a membership heartbeat: identity plus what the
+/// peer is known to hold, so receivers can steer pushes, pulls, and
+/// snapshot transfers without extra round trips.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerAdvert {
+    /// The peer being described.
+    pub peer: PeerId,
+    /// The peer's organization.
+    pub org: String,
+    /// Monotonic heartbeat counter (freshness).
+    pub heartbeat: u64,
+    /// Highest contiguously delivered block per channel.
+    pub delivered: Vec<(ChannelId, u64)>,
+    /// Height of the latest state snapshot the peer can serve, per
+    /// channel (provider advertisement for catch-up).
+    pub snapshots: Vec<(ChannelId, u64)>,
+}
+
 /// Gossip protocol messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GossipMessage {
@@ -82,8 +100,16 @@ pub enum GossipMessage {
     },
     /// Membership heartbeat: the sender's view of alive peers.
     Membership {
-        /// `(peer, org, heartbeat counter)` triples.
-        alive: Vec<(PeerId, String, u64)>,
+        /// Advertisements for the sender and every alive peer it knows.
+        alive: Vec<PeerAdvert>,
+    },
+    /// An opaque state-transfer payload (a `fabric-statesync`
+    /// `SyncMessage`); gossip only routes it.
+    StateSync {
+        /// Channel being synchronized.
+        channel: ChannelId,
+        /// Serialized `SyncMessage`.
+        payload: Vec<u8>,
     },
 }
 
@@ -114,12 +140,45 @@ pub enum GossipOutput {
         /// Next block number needed.
         next: u64,
     },
+    /// A state-transfer payload arrived; the driver hands it to its
+    /// statesync component (snapshot store or catch-up consumer).
+    DeliverStateSync {
+        /// Peer the payload came from.
+        from: PeerId,
+        /// Channel being synchronized.
+        channel: ChannelId,
+        /// Serialized `SyncMessage`.
+        payload: Vec<u8>,
+    },
 }
 
 struct Member {
     org: String,
     heartbeat: u64,
     last_heard: u64,
+    /// Highest block the peer is known to have delivered, per channel —
+    /// learned from pull probes, pushes it sends, and membership adverts.
+    delivered: HashMap<ChannelId, u64>,
+    /// Snapshot heights the peer advertises as a provider, per channel.
+    snapshots: HashMap<ChannelId, u64>,
+}
+
+impl Member {
+    fn new(org: String) -> Self {
+        Member {
+            org,
+            heartbeat: 0,
+            last_heard: 0,
+            delivered: HashMap::new(),
+            snapshots: HashMap::new(),
+        }
+    }
+
+    /// Raises the known delivered height (heights only move forward).
+    fn observe_delivered(&mut self, channel: &ChannelId, height: u64) {
+        let entry = self.delivered.entry(channel.clone()).or_insert(0);
+        *entry = (*entry).max(height);
+    }
 }
 
 /// One peer's gossip component.
@@ -134,6 +193,8 @@ pub struct GossipNode {
     store: HashMap<ChannelId, BTreeMap<u64, Vec<u8>>>,
     /// Highest block delivered contiguously per channel.
     delivered: HashMap<ChannelId, u64>,
+    /// Snapshot heights this node itself can serve, per channel.
+    my_snapshots: HashMap<ChannelId, u64>,
     channels: Vec<ChannelId>,
 }
 
@@ -155,14 +216,7 @@ impl GossipNode {
         let mut members = HashMap::new();
         for (peer, peer_org) in bootstrap {
             if *peer != id {
-                members.insert(
-                    *peer,
-                    Member {
-                        org: peer_org.clone(),
-                        heartbeat: 0,
-                        last_heard: 0,
-                    },
-                );
+                members.insert(*peer, Member::new(peer_org.clone()));
             }
         }
         GossipNode {
@@ -174,8 +228,36 @@ impl GossipNode {
             members,
             store: HashMap::new(),
             delivered: HashMap::new(),
+            my_snapshots: HashMap::new(),
             channels,
         }
+    }
+
+    /// Advertises this node as a snapshot provider for `channel` at
+    /// `height`; carried in subsequent membership heartbeats. Call after
+    /// each checkpoint.
+    pub fn advertise_snapshot(&mut self, channel: &ChannelId, height: u64) {
+        let entry = self.my_snapshots.entry(channel.clone()).or_insert(0);
+        *entry = (*entry).max(height);
+    }
+
+    /// Alive peers advertising a snapshot for `channel`, as `(peer,
+    /// snapshot height)` sorted by height descending (freshest snapshot
+    /// first, peer id as tie-break for determinism).
+    pub fn snapshot_providers(&self, channel: &ChannelId) -> Vec<(PeerId, u64)> {
+        let mut providers: Vec<(PeerId, u64)> = self
+            .members
+            .iter()
+            .filter(|(_, m)| self.now.saturating_sub(m.last_heard) < self.config.member_timeout)
+            .filter_map(|(&id, m)| {
+                m.snapshots
+                    .get(channel)
+                    .filter(|&&h| h > 0)
+                    .map(|&h| (id, h))
+            })
+            .collect();
+        providers.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        providers
     }
 
     /// This node's id.
@@ -233,9 +315,17 @@ impl GossipNode {
                 block_num,
                 payload,
             } => {
+                // The sender evidently holds this block; don't push it back.
+                if let Some(m) = self.members.get_mut(&from) {
+                    m.observe_delivered(&channel, block_num);
+                }
                 self.ingest_block(&channel, block_num, payload, Some(from), &mut out);
             }
             GossipMessage::PullRequest { channel, have } => {
+                // `have` is the requester's own delivered watermark.
+                if let Some(m) = self.members.get_mut(&from) {
+                    m.observe_delivered(&channel, have);
+                }
                 if let Some(store) = self.store.get(&channel) {
                     for (&num, payload) in store.range(have + 1..) {
                         if (num - have) as usize > self.config.max_pull_batch {
@@ -253,20 +343,34 @@ impl GossipNode {
                 }
             }
             GossipMessage::Membership { alive } => {
-                for (peer, org, heartbeat) in alive {
-                    if peer == self.id {
+                for advert in alive {
+                    if advert.peer == self.id {
                         continue;
                     }
-                    let entry = self.members.entry(peer).or_insert(Member {
-                        org,
-                        heartbeat: 0,
-                        last_heard: 0,
-                    });
-                    if heartbeat > entry.heartbeat {
-                        entry.heartbeat = heartbeat;
+                    let entry = self
+                        .members
+                        .entry(advert.peer)
+                        .or_insert_with(|| Member::new(advert.org));
+                    if advert.heartbeat > entry.heartbeat {
+                        entry.heartbeat = advert.heartbeat;
                         entry.last_heard = self.now;
                     }
+                    // Heights are monotone; merge regardless of freshness.
+                    for (channel, height) in advert.delivered {
+                        entry.observe_delivered(&channel, height);
+                    }
+                    for (channel, height) in advert.snapshots {
+                        let slot = entry.snapshots.entry(channel).or_insert(0);
+                        *slot = (*slot).max(height);
+                    }
                 }
+            }
+            GossipMessage::StateSync { channel, payload } => {
+                out.push(GossipOutput::DeliverStateSync {
+                    from,
+                    channel,
+                    payload,
+                });
             }
         }
         out
@@ -279,10 +383,26 @@ impl GossipNode {
         let mut out = Vec::new();
         // Membership dissemination.
         if self.now % self.config.membership_interval == 0 {
-            let mut view: Vec<(PeerId, String, u64)> = vec![(self.id, self.org.clone(), self.now)];
+            let mut view = vec![PeerAdvert {
+                peer: self.id,
+                org: self.org.clone(),
+                heartbeat: self.now,
+                delivered: self.delivered.iter().map(|(c, &h)| (c.clone(), h)).collect(),
+                snapshots: self
+                    .my_snapshots
+                    .iter()
+                    .map(|(c, &h)| (c.clone(), h))
+                    .collect(),
+            }];
             for (&peer, member) in &self.members {
                 if self.now.saturating_sub(member.last_heard) < self.config.member_timeout {
-                    view.push((peer, member.org.clone(), member.heartbeat));
+                    view.push(PeerAdvert {
+                        peer,
+                        org: member.org.clone(),
+                        heartbeat: member.heartbeat,
+                        delivered: member.delivered.iter().map(|(c, &h)| (c.clone(), h)).collect(),
+                        snapshots: member.snapshots.iter().map(|(c, &h)| (c.clone(), h)).collect(),
+                    });
                 }
             }
             for target in self.random_alive(self.config.fanout, None) {
@@ -294,12 +414,17 @@ impl GossipNode {
                 });
             }
         }
-        // Pull probes.
+        // Pull probes: prefer peers that can actually fill our gap —
+        // known to be ahead of `have`, or of unknown height. Probing a
+        // peer known to be at or behind our watermark cannot help.
         if self.now % self.config.pull_interval == 0 {
             let channels = self.channels.clone();
             for channel in channels {
                 let have = self.delivered_height(&channel);
-                if let Some(target) = self.random_alive(1, None).first().copied() {
+                let useful = self.sample_peers(1, |_, m| {
+                    m.delivered.get(&channel).is_none_or(|&h| h > have)
+                });
+                if let Some(target) = useful.first().copied() {
                     out.push(GossipOutput::Send {
                         to: target,
                         message: GossipMessage::PullRequest {
@@ -351,9 +476,17 @@ impl GossipNode {
         }
         self.delivered.insert(channel.clone(), delivered);
         out.extend(deliveries);
-        // Push phase.
+        // Push phase: skip the sender and any peer already known to hold
+        // the block (its observed height reaches `block_num`) — pushing
+        // there is guaranteed-wasted bandwidth. Sampling first and
+        // filtering after would also bias the fanout: slots spent on
+        // excluded peers would be lost instead of going to peers that
+        // still need the block.
         if self.config.push_enabled {
-            for target in self.random_alive(self.config.fanout, from) {
+            let targets = self.sample_peers(self.config.fanout, |id, m| {
+                Some(id) != from && m.delivered.get(channel).is_none_or(|&h| h < block_num)
+            });
+            for target in targets {
                 out.push(GossipOutput::Send {
                     to: target,
                     message: GossipMessage::BlockPush {
@@ -367,12 +500,23 @@ impl GossipNode {
     }
 
     fn random_alive(&mut self, count: usize, exclude: Option<PeerId>) -> Vec<PeerId> {
+        self.sample_peers(count, |id, _| Some(id) != exclude)
+    }
+
+    /// Uniform random sample of up to `count` alive peers satisfying
+    /// `keep`; the filter runs before sampling so every returned slot is
+    /// a useful target.
+    fn sample_peers(
+        &mut self,
+        count: usize,
+        keep: impl Fn(PeerId, &Member) -> bool,
+    ) -> Vec<PeerId> {
         let now = self.now;
         let timeout = self.config.member_timeout;
         let mut alive: Vec<PeerId> = self
             .members
             .iter()
-            .filter(|(&id, m)| Some(id) != exclude && now.saturating_sub(m.last_heard) < timeout)
+            .filter(|(&id, m)| now.saturating_sub(m.last_heard) < timeout && keep(id, m))
             .map(|(&id, _)| id)
             .collect();
         alive.sort_unstable(); // determinism before shuffling
@@ -443,6 +587,7 @@ mod tests {
                     GossipOutput::PullFromOrderer { next, .. } => {
                         self.orderer_pulls[from as usize - 1].push(next);
                     }
+                    GossipOutput::DeliverStateSync { .. } => {}
                 }
             }
         }
@@ -667,6 +812,160 @@ mod tests {
             })
             .count();
         assert_eq!(pushes, 3);
+    }
+
+    #[test]
+    fn push_skips_peers_known_to_hold_the_block() {
+        let config = GossipConfig {
+            fanout: 10,
+            ..GossipConfig::default()
+        };
+        let bootstrap: Vec<(PeerId, String)> =
+            (2..=5).map(|id| (id, "A".to_string())).collect();
+        let mut node = GossipNode::new(1, "A", &bootstrap, vec![channel()], config, 1);
+        node.tick(); // liveness baseline so everyone samples as alive
+        for peer in 2..=5 {
+            node.step(peer, GossipMessage::Membership { alive: vec![] });
+        }
+        // Peers 2 and 3 are known to have delivered block 1 already
+        // (learned from their pull probes).
+        for peer in [2, 3] {
+            node.step(
+                peer,
+                GossipMessage::PullRequest {
+                    channel: channel(),
+                    have: 1,
+                },
+            );
+        }
+        let out = node.on_block_from_orderer(&channel(), 1, vec![1]);
+        let targets: Vec<PeerId> = out
+            .iter()
+            .filter_map(|o| match o {
+                GossipOutput::Send {
+                    to,
+                    message: GossipMessage::BlockPush { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert!(!targets.contains(&2) && !targets.contains(&3));
+        // The fanout slots go to peers that still need the block.
+        assert_eq!(
+            {
+                let mut t = targets.clone();
+                t.sort_unstable();
+                t
+            },
+            vec![4, 5]
+        );
+        // Block 2 is news to everyone: peers 2 and 3 are eligible again.
+        let out = node.on_block_from_orderer(&channel(), 2, vec![2]);
+        let targets: Vec<PeerId> = out
+            .iter()
+            .filter_map(|o| match o {
+                GossipOutput::Send {
+                    to,
+                    message: GossipMessage::BlockPush { block_num: 2, .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_adverts_reach_the_overlay() {
+        let mut overlay = Overlay::new(&["A", "A", "A"], GossipConfig::default());
+        for _ in 0..3 {
+            overlay.tick();
+        }
+        assert!(overlay.nodes[1].snapshot_providers(&channel()).is_empty());
+        overlay.nodes[0].advertise_snapshot(&channel(), 16);
+        for _ in 0..4 {
+            overlay.tick();
+        }
+        for node in &overlay.nodes[1..] {
+            assert_eq!(node.snapshot_providers(&channel()), vec![(1, 16)]);
+        }
+        // A fresher snapshot elsewhere sorts first.
+        overlay.nodes[2].advertise_snapshot(&channel(), 24);
+        for _ in 0..4 {
+            overlay.tick();
+        }
+        assert_eq!(
+            overlay.nodes[1].snapshot_providers(&channel()),
+            vec![(3, 24), (1, 16)]
+        );
+    }
+
+    #[test]
+    fn state_sync_payloads_are_routed_to_the_driver() {
+        let mut node = GossipNode::new(
+            1,
+            "A",
+            &[(2, "A".into())],
+            vec![channel()],
+            GossipConfig::default(),
+            1,
+        );
+        let out = node.step(
+            2,
+            GossipMessage::StateSync {
+                channel: channel(),
+                payload: vec![0xab; 16],
+            },
+        );
+        assert_eq!(
+            out,
+            vec![GossipOutput::DeliverStateSync {
+                from: 2,
+                channel: channel(),
+                payload: vec![0xab; 16],
+            }]
+        );
+    }
+
+    #[test]
+    fn pull_probes_avoid_peers_known_to_be_behind() {
+        let config = GossipConfig {
+            pull_interval: 1,
+            membership_interval: 1000, // isolate pull traffic
+            ..GossipConfig::default()
+        };
+        let bootstrap: Vec<(PeerId, String)> =
+            (2..=4).map(|id| (id, "A".to_string())).collect();
+        let mut node = GossipNode::new(1, "A", &bootstrap, vec![channel()], config, 1);
+        node.tick();
+        for peer in 2..=4 {
+            node.step(peer, GossipMessage::Membership { alive: vec![] });
+        }
+        // We are at height 5. Peers 2 and 3 are known to be at 2 — a pull
+        // probe to them cannot help. Peer 4's height is unknown.
+        for _ in 0..5 {
+            let n = node.delivered_height(&channel()) + 1;
+            node.on_block_from_orderer(&channel(), n, vec![n as u8]);
+        }
+        for peer in [2, 3] {
+            node.step(
+                peer,
+                GossipMessage::PullRequest {
+                    channel: channel(),
+                    have: 2,
+                },
+            );
+        }
+        for _ in 0..20 {
+            for output in node.tick() {
+                if let GossipOutput::Send {
+                    to,
+                    message: GossipMessage::PullRequest { .. },
+                } = output
+                {
+                    assert_eq!(to, 4, "pull probe went to a peer known to be behind");
+                }
+            }
+        }
     }
 
     #[test]

@@ -125,10 +125,13 @@ impl Backend for FsBackend {
     }
 }
 
+/// One shared in-memory file: bytes behind a lock.
+type MemFileData = Arc<Mutex<Vec<u8>>>;
+
 /// In-memory backend (the "RAM disk" of paper Experiment 3).
 #[derive(Default, Clone)]
 pub struct MemBackend {
-    files: Arc<Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>>,
+    files: Arc<Mutex<HashMap<String, MemFileData>>>,
 }
 
 impl MemBackend {

@@ -318,10 +318,10 @@ impl KvStore {
         for (key, chain) in state.map.iter_mut() {
             // Keep the newest entry at-or-below the horizon plus everything
             // above it.
-            let keep_from = match chain.iter().rposition(|(s, _)| *s <= horizon) {
-                Some(idx) => idx,
-                None => 0,
-            };
+            let keep_from = chain
+                .iter()
+                .rposition(|(s, _)| *s <= horizon)
+                .unwrap_or_default();
             if keep_from > 0 {
                 chain.drain(..keep_from);
             }

@@ -5,6 +5,13 @@
 //! random access by block number and by transaction id. The indices are
 //! rebuilt by scanning the file on open; a torn tail (crash mid-append) is
 //! truncated.
+//!
+//! A store normally begins at block 0 (the genesis config block). A peer
+//! that joins a channel from a state snapshot instead **rebases** the
+//! store: a small CRC-framed base record (`blocks.base`) pins the height
+//! the snapshot covers, the hash of the last pruned block, and the number
+//! of the most recent config block, and the chain then continues from
+//! there — blocks `0..base` are not stored.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,11 +23,12 @@ use fabric_kvstore::backend::{Backend, BackendFile};
 use fabric_kvstore::log;
 use fabric_primitives::block::Block;
 use fabric_primitives::ids::TxId;
-use fabric_primitives::wire::Wire;
+use fabric_primitives::wire::{Decoder, Encoder, Wire};
 
 use crate::LedgerError;
 
 const BLOCKS_FILE: &str = "blocks.dat";
+const BASE_FILE: &str = "blocks.base";
 
 /// Location of a transaction: block number and index within the block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,11 +40,15 @@ pub struct TxLocation {
 }
 
 struct Index {
-    /// Byte offset and length of each block record, by block number.
+    /// Number of pruned blocks below the first stored one (0 unless the
+    /// store was rebased onto a state snapshot).
+    base: u64,
+    /// Byte offset and length of each block record, by `number - base`.
     blocks: Vec<(u64, usize)>,
-    /// Transaction id → location.
+    /// Transaction id → location (retained blocks only).
     txs: HashMap<TxId, TxLocation>,
-    /// Hash of the last appended block's header.
+    /// Hash of the last appended block's header (for a freshly rebased
+    /// store: the hash recorded in the base record).
     last_hash: Digest,
     /// Number of the most recent config block (0 = genesis).
     last_config: u64,
@@ -45,28 +57,59 @@ struct Index {
 /// Persistent, indexed storage of the block chain.
 pub struct BlockStore {
     file: Mutex<Box<dyn BackendFile>>,
+    base_file: Mutex<Box<dyn BackendFile>>,
     index: RwLock<Index>,
     sync_writes: bool,
+}
+
+fn encode_base(base: u64, hash: &Digest, last_config: u64) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(base);
+    enc.put_raw(hash);
+    enc.put_u64(last_config);
+    enc.finish()
+}
+
+fn decode_base(payload: &[u8]) -> Result<(u64, Digest, u64), LedgerError> {
+    let mut dec = Decoder::new(payload);
+    let parse = |dec: &mut Decoder<'_>| {
+        let base = dec.get_u64()?;
+        let hash = dec.get_array32()?;
+        let last_config = dec.get_u64()?;
+        dec.expect_end()?;
+        Ok::<_, fabric_primitives::wire::WireError>((base, hash, last_config))
+    };
+    parse(&mut dec).map_err(|_| LedgerError::Corrupt)
 }
 
 impl BlockStore {
     /// Opens a block store, scanning existing blocks to rebuild indices.
     pub fn open(backend: Arc<dyn Backend>, sync_writes: bool) -> Result<Self, LedgerError> {
+        let mut base_file = backend.open(BASE_FILE)?;
+        let (base_records, base_good) = log::read_all(base_file.as_mut())?;
+        if base_good < base_file.len()? {
+            base_file.truncate(base_good)?;
+        }
+        let (base, base_hash, base_config) = match base_records.last() {
+            Some(payload) => decode_base(payload)?,
+            None => (0, [0u8; 32], 0),
+        };
         let mut file = backend.open(BLOCKS_FILE)?;
         let (records, good_end) = log::read_all(file.as_mut())?;
         if good_end < file.len()? {
             file.truncate(good_end)?;
         }
         let mut index = Index {
+            base,
             blocks: Vec::with_capacity(records.len()),
             txs: HashMap::new(),
-            last_hash: [0u8; 32],
-            last_config: 0,
+            last_hash: base_hash,
+            last_config: base_config,
         };
         let mut offset = 0u64;
         for (i, payload) in records.iter().enumerate() {
             let block = Block::from_wire(payload).map_err(|_| LedgerError::Corrupt)?;
-            if block.header.number != i as u64 {
+            if block.header.number != base + i as u64 {
                 return Err(LedgerError::Corrupt);
             }
             Self::index_block(&mut index, &block, offset, payload.len());
@@ -74,9 +117,49 @@ impl BlockStore {
         }
         Ok(BlockStore {
             file: Mutex::new(file),
+            base_file: Mutex::new(base_file),
             index: RwLock::new(index),
             sync_writes,
         })
+    }
+
+    /// Rebases an **empty** store so the chain starts at `base` instead of
+    /// 0: blocks `0..base` are declared pruned, the next append must carry
+    /// number `base` and chain onto `base_hash` (the hash of block
+    /// `base - 1`, as bound by a verified snapshot manifest). Part of the
+    /// snapshot-install protocol — see `Ledger::install_snapshot`.
+    pub fn rebase(
+        &self,
+        base: u64,
+        base_hash: Digest,
+        last_config: u64,
+    ) -> Result<(), LedgerError> {
+        let mut base_file = self.base_file.lock();
+        let mut index = self.index.write();
+        if index.base != 0 || !index.blocks.is_empty() {
+            return Err(LedgerError::Snapshot(format!(
+                "rebase requires an empty block store (base {}, {} blocks held)",
+                index.base,
+                index.blocks.len()
+            )));
+        }
+        if base == 0 {
+            return Err(LedgerError::Snapshot("rebase to height 0".into()));
+        }
+        log::append_record(base_file.as_mut(), &encode_base(base, &base_hash, last_config))?;
+        if self.sync_writes {
+            base_file.sync()?;
+        }
+        index.base = base;
+        index.last_hash = base_hash;
+        index.last_config = last_config;
+        Ok(())
+    }
+
+    /// Number of pruned blocks below the first stored one (0 unless the
+    /// store was rebased onto a snapshot).
+    pub fn base(&self) -> u64 {
+        self.index.read().base
     }
 
     fn index_block(index: &mut Index, block: &Block, offset: u64, len: usize) {
@@ -106,7 +189,7 @@ impl BlockStore {
         let payload = block.to_wire();
         let mut file = self.file.lock();
         let mut index = self.index.write();
-        let height = index.blocks.len() as u64;
+        let height = index.base + index.blocks.len() as u64;
         if block.header.number != height {
             return Err(LedgerError::OutOfOrder {
                 expected: height,
@@ -124,9 +207,10 @@ impl BlockStore {
         Ok(())
     }
 
-    /// Current chain height (number of blocks stored).
+    /// Current chain height (pruned base + number of blocks stored).
     pub fn height(&self) -> u64 {
-        self.index.read().blocks.len() as u64
+        let index = self.index.read();
+        index.base + index.blocks.len() as u64
     }
 
     /// Hash of the most recently appended block header (zeroes if empty).
@@ -139,11 +223,15 @@ impl BlockStore {
         self.index.read().last_config
     }
 
-    /// Reads block `number`, or `None` past the current height.
+    /// Reads block `number`, or `None` past the current height or below
+    /// the rebased base (pruned blocks are gone).
     pub fn get_block(&self, number: u64) -> Result<Option<Block>, LedgerError> {
         let (offset, len) = {
             let index = self.index.read();
-            match index.blocks.get(number as usize) {
+            let Some(slot) = number.checked_sub(index.base) else {
+                return Ok(None);
+            };
+            match index.blocks.get(slot as usize) {
                 Some(&loc) => loc,
                 None => return Ok(None),
             }
@@ -304,5 +392,64 @@ mod tests {
         assert_eq!(store.height(), 0);
         assert_eq!(store.last_hash(), [0u8; 32]);
         assert!(store.get_block(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn rebase_starts_chain_mid_stream() {
+        let backend = Arc::new(MemBackend::new());
+        let store = BlockStore::open(backend.clone(), false).unwrap();
+        let snapshot_tip = [7u8; 32]; // hash of pruned block 4
+        store.rebase(5, snapshot_tip, 3).unwrap();
+        assert_eq!(store.height(), 5);
+        assert_eq!(store.base(), 5);
+        assert_eq!(store.last_config(), 3);
+        assert!(store.get_block(0).unwrap().is_none(), "pruned");
+        assert!(store.get_block(4).unwrap().is_none(), "pruned");
+
+        // The next append must be block 5 chaining onto the base hash.
+        let wrong = Block::new(5, [9u8; 32], vec![envelope(1)]);
+        assert!(matches!(
+            store.append(&wrong),
+            Err(LedgerError::HashChainBroken(5))
+        ));
+        let early = Block::new(0, [0u8; 32], vec![envelope(1)]);
+        assert!(matches!(
+            store.append(&early),
+            Err(LedgerError::OutOfOrder { expected: 5, got: 0 })
+        ));
+        let b5 = Block::new(5, snapshot_tip, vec![envelope(1)]);
+        store.append(&b5).unwrap();
+        let b6 = Block::new(6, b5.hash(), vec![envelope(2)]);
+        store.append(&b6).unwrap();
+        assert_eq!(store.height(), 7);
+        assert_eq!(store.get_block(6).unwrap().unwrap(), b6);
+        let loc = store.tx_location(&b6.envelopes[0].tx_id()).unwrap();
+        assert_eq!(loc.block_num, 6);
+
+        // The base survives reopen.
+        drop(store);
+        let store = BlockStore::open(backend, false).unwrap();
+        assert_eq!(store.base(), 5);
+        assert_eq!(store.height(), 7);
+        assert_eq!(store.get_block(5).unwrap().unwrap(), b5);
+        assert!(store.get_block(2).unwrap().is_none());
+        let b7 = Block::new(7, store.last_hash(), vec![envelope(3)]);
+        store.append(&b7).unwrap();
+    }
+
+    #[test]
+    fn rebase_rejected_on_nonempty_store() {
+        let (_, store, _) = chain_of(2);
+        assert!(matches!(
+            store.rebase(5, [1u8; 32], 0),
+            Err(LedgerError::Snapshot(_))
+        ));
+        let backend = Arc::new(MemBackend::new());
+        let empty = BlockStore::open(backend, false).unwrap();
+        empty.rebase(3, [1u8; 32], 0).unwrap();
+        assert!(
+            matches!(empty.rebase(4, [1u8; 32], 0), Err(LedgerError::Snapshot(_))),
+            "double rebase rejected"
+        );
     }
 }

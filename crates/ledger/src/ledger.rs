@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use fabric_kvstore::backend::Backend;
-use fabric_kvstore::{KvStore, MemBackend, StoreConfig};
+use fabric_kvstore::{KvStore, MemBackend, StoreConfig, WriteBatch};
 use fabric_primitives::block::Block;
 use fabric_primitives::ids::{TxId, TxValidationCode};
 
@@ -56,6 +56,10 @@ impl Ledger {
             Some(sp) => sp + 1,
             None => 0,
         };
+        // A rebased store holds no blocks below `base`; their state came
+        // from the snapshot (whose savepoint is `base - 1`), so replay can
+        // never be asked to start below it on an intact ledger.
+        let start = start.max(self.blocks.base());
         for number in start..height {
             let block = self
                 .blocks
@@ -180,6 +184,63 @@ impl Ledger {
         key: &str,
     ) -> Result<Vec<crate::ptm::HistoryEntry>, LedgerError> {
         self.ptm.history(ns, key)
+    }
+
+    /// A point-in-time dump of the *entire* state database — world state,
+    /// history index, and the savepoint — as raw `(key, value)` pairs in
+    /// key order. This is the payload a state snapshot carries: installing
+    /// exactly these pairs reproduces the kvstore byte-for-byte.
+    pub fn state_entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.ptm.store().snapshot().scan(b"", b"")
+    }
+
+    /// Installs a verified state snapshot into an **empty** ledger: the
+    /// state database is atomically replaced by `entries` (one write
+    /// batch, so a crash leaves either the old or the new state), and the
+    /// block store is rebased so the chain resumes at `height`.
+    ///
+    /// `height` is the number of blocks the snapshot covers (its savepoint
+    /// must be `height - 1`), `block_hash` the hash of block `height - 1`,
+    /// and `last_config` the number of the latest config block — all three
+    /// bound by the snapshot manifest the caller verified. After install,
+    /// the ledger accepts block `height` next; earlier blocks are pruned.
+    pub fn install_snapshot(
+        &self,
+        height: u64,
+        block_hash: fabric_crypto::Digest,
+        last_config: u64,
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(), LedgerError> {
+        if self.blocks.height() != 0 || self.blocks.base() != 0 {
+            return Err(LedgerError::Snapshot(format!(
+                "ledger not empty (height {})",
+                self.blocks.height()
+            )));
+        }
+        if height == 0 {
+            return Err(LedgerError::Snapshot("snapshot covers no blocks".into()));
+        }
+        let mut batch = WriteBatch::new();
+        let incoming: std::collections::HashSet<&[u8]> =
+            entries.iter().map(|(k, _)| k.as_slice()).collect();
+        for (key, _) in self.ptm.store().snapshot().scan(b"", b"") {
+            if !incoming.contains(key.as_slice()) {
+                batch.delete(key);
+            }
+        }
+        for (key, value) in entries {
+            batch.put(key.clone(), value.clone());
+        }
+        self.ptm.store().write(batch)?;
+        // The snapshot's own savepoint key must agree with the manifest
+        // height, or recovery arithmetic would diverge from the chain.
+        if self.ptm.savepoint() != Some(height - 1) {
+            return Err(LedgerError::Snapshot(format!(
+                "snapshot savepoint {:?} does not match height {height}",
+                self.ptm.savepoint()
+            )));
+        }
+        self.blocks.rebase(height, block_hash, last_config)
     }
 
     /// Direct access to the PTM (used by the peer's committer).
@@ -627,6 +688,80 @@ mod tests {
         // Duplicate is invalid; must not append history.
         commit_block(&ledger, vec![env]);
         assert_eq!(ledger.key_history("cc", "k").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_install_reproduces_state_and_resumes_chain() {
+        // Build a source ledger with a few blocks of state.
+        let source = Ledger::in_memory();
+        for i in 0..4u8 {
+            commit_block(
+                &source,
+                vec![simulate(&source, i + 1, |sim| {
+                    sim.put_state("cc", &format!("k{i}"), vec![i]);
+                })],
+            );
+        }
+        let height = source.height();
+        let tip = source.last_hash();
+        let entries = source.state_entries();
+
+        // Install into a fresh ledger; kvstore must be byte-identical.
+        let backend = Arc::new(MemBackend::new());
+        let target = Ledger::open(backend.clone(), false).unwrap();
+        target
+            .install_snapshot(height, tip, source.last_config(), &entries)
+            .unwrap();
+        assert_eq!(target.height(), height);
+        assert_eq!(target.ptm().savepoint(), Some(height - 1));
+        assert_eq!(target.state_entries(), entries, "byte-identical kvstore");
+        assert_eq!(target.get_state("cc", "k2").unwrap(), Some(vec![2u8]));
+        // History came along with the snapshot.
+        assert_eq!(target.key_history("cc", "k0").unwrap().len(), 1);
+
+        // The chain resumes where the snapshot left off.
+        let env = simulate(&source, 9, |sim| sim.put_state("cc", "post", b"1".to_vec()));
+        let mut block = Block::new(height, tip, vec![env]);
+        block.metadata.validation = vec![TxValidationCode::Valid];
+        source.commit(&block).unwrap();
+        target.commit(&block).unwrap();
+        assert_eq!(target.height(), source.height());
+        assert_eq!(target.last_hash(), source.last_hash());
+        assert_eq!(target.state_entries(), source.state_entries());
+
+        // Reopen survives: recovery must not try to replay pruned blocks.
+        drop(target);
+        let reopened = Ledger::open(backend, false).unwrap();
+        assert_eq!(reopened.height(), source.height());
+        assert_eq!(reopened.state_entries(), source.state_entries());
+    }
+
+    #[test]
+    fn snapshot_install_rejected_on_nonempty_or_mismatched() {
+        let source = Ledger::in_memory();
+        commit_block(
+            &source,
+            vec![simulate(&source, 1, |sim| sim.put_state("cc", "k", b"v".to_vec()))],
+        );
+        let entries = source.state_entries();
+
+        // Non-empty target.
+        let busy = Ledger::in_memory();
+        commit_block(
+            &busy,
+            vec![simulate(&busy, 2, |sim| sim.put_state("cc", "x", b"y".to_vec()))],
+        );
+        assert!(matches!(
+            busy.install_snapshot(1, source.last_hash(), 0, &entries),
+            Err(LedgerError::Snapshot(_))
+        ));
+
+        // Height that disagrees with the snapshot's own savepoint.
+        let target = Ledger::in_memory();
+        assert!(matches!(
+            target.install_snapshot(7, source.last_hash(), 0, &entries),
+            Err(LedgerError::Snapshot(_))
+        ));
     }
 
     #[test]

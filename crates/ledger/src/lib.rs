@@ -36,6 +36,8 @@ pub enum LedgerError {
     HashChainBroken(u64),
     /// `commit` was called on a block without validation metadata.
     MissingValidationFlags,
+    /// A state-snapshot install or block-store rebase was rejected.
+    Snapshot(String),
 }
 
 impl From<fabric_kvstore::StoreError> for LedgerError {
@@ -56,6 +58,7 @@ impl core::fmt::Display for LedgerError {
             LedgerError::MissingValidationFlags => {
                 write!(f, "block committed without validation flags")
             }
+            LedgerError::Snapshot(msg) => write!(f, "snapshot install rejected: {msg}"),
         }
     }
 }

@@ -34,6 +34,8 @@ pub enum PeerError {
     Ledger(fabric_ledger::LedgerError),
     /// A received block failed integrity or sequencing checks.
     BadBlock(String),
+    /// Snapshot production or install failed.
+    Snapshot(fabric_statesync::SyncError),
 }
 
 impl core::fmt::Display for PeerError {
@@ -44,6 +46,7 @@ impl core::fmt::Display for PeerError {
             PeerError::ChaincodeRejected(msg) => write!(f, "chaincode rejected proposal: {msg}"),
             PeerError::Ledger(e) => write!(f, "ledger error: {e}"),
             PeerError::BadBlock(msg) => write!(f, "bad block: {msg}"),
+            PeerError::Snapshot(e) => write!(f, "state snapshot failed: {e}"),
         }
     }
 }
@@ -488,6 +491,114 @@ pub(crate) mod tests {
         );
         let (_, _, flag) = peer.get_transaction(&tx_id).unwrap().unwrap();
         assert_eq!(flag, TxValidationCode::Valid);
+    }
+
+    #[test]
+    fn snapshot_join_matches_replayed_peer() {
+        let fx = fixture();
+        let peer1 = make_peer(&fx, &fx.ca1, "peer0.org1");
+        let admin = fabric_msp::issue_identity(&fx.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fx.ca1, "client1", Role::Client, b"c1");
+
+        let deploy = deploy_kvcc(&fx, &[&peer1], "Org1MSP", &admin);
+        let b1 = next_block(&peer1, vec![deploy]);
+        peer1.commit_block(&b1).unwrap();
+        let mut blocks = vec![b1];
+        for i in 0..4u8 {
+            let sp = signed_proposal(
+                &client,
+                &fx.channel,
+                "kvcc",
+                "put",
+                vec![vec![b'k', i], vec![b'v', i]],
+                [i + 20; 32],
+            );
+            let r = peer1.process_proposal(&sp).unwrap();
+            let block = next_block(&peer1, vec![assemble(&client, &sp, &[r])]);
+            peer1.commit_block(&block).unwrap();
+            blocks.push(block);
+        }
+        assert_eq!(peer1.height(), 6);
+
+        // Snapshot at height 4, then two more blocks exist above it.
+        let snap_height = 4;
+        let snapshot = {
+            let fresh = make_peer(&fx, &fx.ca1, "peer1.org1");
+            for b in &blocks[..(snap_height - 1) as usize] {
+                fresh.commit_block(b).unwrap();
+            }
+            assert_eq!(fresh.height(), snap_height);
+            fresh
+                .state_snapshot(&fabric_statesync::SnapshotConfig::default())
+                .unwrap()
+        };
+        let entries =
+            fabric_statesync::decode_entries(&snapshot.manifest.manifest, &snapshot.segments)
+                .unwrap();
+
+        // Join a new peer from the snapshot and replay only the tail.
+        let joiner = Peer::join_from_snapshot(
+            fabric_msp::issue_identity(&fx.ca1, "peer2.org1", Role::Peer, b"peer2.org1"),
+            &fx.genesis,
+            &snapshot.manifest,
+            &entries,
+            Arc::new(MemBackend::new()),
+            PeerConfig {
+                vscc_parallelism: 1,
+                runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None },
+                sync_writes: false,
+            },
+        )
+        .unwrap();
+        joiner.install_chaincode("kvcc", Arc::new(kv_chaincode));
+        assert_eq!(joiner.height(), snap_height);
+        for b in &blocks[(snap_height - 1) as usize..] {
+            joiner.commit_block(b).unwrap();
+        }
+        assert_eq!(joiner.height(), peer1.height());
+        assert_eq!(joiner.ledger().last_hash(), peer1.ledger().last_hash());
+        for i in 0..4u8 {
+            let key = String::from_utf8(vec![b'k', i]).unwrap();
+            assert_eq!(
+                joiner.get_state("kvcc", &key).unwrap(),
+                peer1.get_state("kvcc", &key).unwrap()
+            );
+        }
+        // Byte-identical world state (incl. version metadata and history).
+        assert_eq!(
+            joiner.ledger().state_entries(),
+            peer1.ledger().state_entries()
+        );
+    }
+
+    #[test]
+    fn snapshot_from_rogue_signer_rejected_on_join() {
+        let fx = fixture();
+        let peer1 = make_peer(&fx, &fx.ca1, "peer0.org1");
+        let admin = fabric_msp::issue_identity(&fx.ca1, "admin1", Role::Admin, b"a1");
+        let deploy = deploy_kvcc(&fx, &[&peer1], "Org1MSP", &admin);
+        let b1 = next_block(&peer1, vec![deploy]);
+        peer1.commit_block(&b1).unwrap();
+        let snapshot = peer1
+            .state_snapshot(&fabric_statesync::SnapshotConfig::default())
+            .unwrap();
+        let entries =
+            fabric_statesync::decode_entries(&snapshot.manifest.manifest, &snapshot.segments)
+                .unwrap();
+        // Re-sign the manifest under a CA outside the channel federation.
+        let rogue_ca = CertificateAuthority::new("ca.rogue", "RogueMSP", b"rogue");
+        let rogue = fabric_msp::issue_identity(&rogue_ca, "evil", Role::Peer, b"e");
+        let forged =
+            fabric_statesync::SignedManifest::sign(snapshot.manifest.manifest.clone(), &rogue);
+        let result = Peer::join_from_snapshot(
+            fabric_msp::issue_identity(&fx.ca1, "peer3.org1", Role::Peer, b"peer3.org1"),
+            &fx.genesis,
+            &forged,
+            &entries,
+            Arc::new(MemBackend::new()),
+            PeerConfig::default(),
+        );
+        assert!(matches!(result, Err(PeerError::Snapshot(_))));
     }
 
     #[test]

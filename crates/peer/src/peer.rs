@@ -106,6 +106,70 @@ impl Peer {
         Ok(peer)
     }
 
+    /// Creates a peer directly from a verified state snapshot, skipping
+    /// block-by-block replay (statesync catch-up).
+    ///
+    /// The genesis block provides the channel configuration and, through
+    /// it, the MSP federation that `manifest` is verified against. The
+    /// `entries` must be the Merkle-verified snapshot contents (the
+    /// statesync consumer only emits `Install` after verifying every
+    /// chunk). Blocks above the snapshot height then flow through the
+    /// ordinary commit paths; the first one must chain onto the
+    /// manifest's block hash or the ledger rejects it.
+    pub fn join_from_snapshot(
+        identity: SigningIdentity,
+        genesis: &Block,
+        manifest: &fabric_statesync::SignedManifest,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        backend: Arc<dyn Backend>,
+        config: PeerConfig,
+    ) -> Result<Self, PeerError> {
+        if !genesis.is_config_block() || genesis.header.number != 0 {
+            return Err(PeerError::BadBlock("not a genesis config block".into()));
+        }
+        let channel_config = match &genesis.envelopes[0].content {
+            EnvelopeContent::Config(update) => update.config.clone(),
+            EnvelopeContent::Transaction(_) => {
+                return Err(PeerError::BadBlock("genesis holds no config".into()))
+            }
+        };
+        let channel = channel_config.channel.clone();
+        let view = Arc::new(RwLock::new(ChannelView::new(channel_config)?));
+        manifest
+            .verify(&channel, &view.read().msp)
+            .map_err(PeerError::Snapshot)?;
+
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install(LSCC_NAMESPACE, Arc::new(Lscc));
+        let runtime = Arc::new(ChaincodeRuntime::new(registry, config.runtime));
+        let ledger = Arc::new(Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?);
+        if ledger.height() == 0 {
+            let m = &manifest.manifest;
+            ledger
+                .install_snapshot(m.height, m.block_hash, m.last_config, entries)
+                .map_err(PeerError::Ledger)?;
+        }
+        Ok(Peer {
+            endorser: Endorser::new(identity.clone(), runtime.clone(), view.clone()),
+            committer: Committer::new(view.clone(), config.vscc_parallelism),
+            identity,
+            channel,
+            ledger,
+            view,
+            runtime,
+        })
+    }
+
+    /// Produces a signed snapshot of the current state for catch-up
+    /// serving (checkpoint production).
+    pub fn state_snapshot(
+        &self,
+        config: &fabric_statesync::SnapshotConfig,
+    ) -> Result<fabric_statesync::Snapshot, PeerError> {
+        fabric_statesync::build_snapshot(&self.ledger, &self.channel, &self.identity, config)
+            .map_err(PeerError::Snapshot)
+    }
+
     /// This peer's identity.
     pub fn identity(&self) -> &SigningIdentity {
         &self.identity

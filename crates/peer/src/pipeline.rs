@@ -52,7 +52,7 @@
 //!    if those blocks had never been delivered.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +79,13 @@ pub struct PipelineOptions {
     /// Bounded capacity of the intake queue — backpressure for the
     /// deliver/gossip side when validation falls behind.
     pub intake_capacity: usize,
+    /// Target wall-clock cost of one VSCC chunk task. The admitter sizes
+    /// chunks so `chunk_len × EWMA(per-tx VSCC cost) ≈ target`: cheap
+    /// transactions get large chunks (amortising queue overhead), while
+    /// expensive endorsement policies get small chunks (load-balancing
+    /// the pool near a block's tail). Until the first cost sample lands,
+    /// blocks are split evenly across the workers.
+    pub vscc_chunk_target: Duration,
 }
 
 impl Default for PipelineOptions {
@@ -86,6 +93,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             vscc_workers: 0,
             intake_capacity: 64,
+            vscc_chunk_target: Duration::from_micros(500),
         }
     }
 }
@@ -177,6 +185,10 @@ pub struct QueueGauges {
     pub reorder_peak: usize,
     /// Blocks the admitter stalled on a read/write or barrier dependency.
     pub dependency_stalls: usize,
+    /// Smallest adaptive VSCC chunk dispatched (0 = no block dispatched).
+    pub chunk_min: usize,
+    /// Largest adaptive VSCC chunk dispatched.
+    pub chunk_max: usize,
 }
 
 /// Aggregate statistics for one pipeline run.
@@ -196,6 +208,8 @@ pub struct PipelineStats {
     pub total: StageHistogram,
     /// Peak queue depths.
     pub queues: QueueGauges,
+    /// EWMA of per-transaction VSCC cost, as the chunk sizer last saw it.
+    pub vscc_cost_ewma: Duration,
 }
 
 /// State shared by the pipeline threads and the handle.
@@ -209,6 +223,10 @@ struct Shared {
     stopped: AtomicBool,
     error: Mutex<Option<PeerError>>,
     stats: Mutex<PipelineStats>,
+    /// EWMA of per-transaction VSCC cost in nanoseconds (0 = no sample
+    /// yet). Updated by the pool workers, read by the admitter's chunk
+    /// sizer; racy read-modify-write is fine for a smoothed statistic.
+    vscc_cost_ns: AtomicU64,
 }
 
 impl Shared {
@@ -236,6 +254,21 @@ impl Shared {
     fn advance(&self, height: u64) {
         *self.watermark.lock() = height;
         self.watermark_cv.notify_all();
+    }
+
+    /// Folds one per-tx VSCC cost sample into the EWMA (α = 1/8).
+    fn observe_vscc_cost(&self, per_tx: Duration) {
+        let sample = per_tx.as_nanos() as u64;
+        let old = self.vscc_cost_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+        self.vscc_cost_ns.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Clones the stats and stamps the live EWMA into the snapshot.
+    fn stats_snapshot(&self) -> PipelineStats {
+        let mut stats = self.stats.lock().clone();
+        stats.vscc_cost_ewma = Duration::from_nanos(self.vscc_cost_ns.load(Ordering::Relaxed));
+        stats
     }
 }
 
@@ -362,6 +395,7 @@ impl Committer {
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
             stats: Mutex::new(PipelineStats::default()),
+            vscc_cost_ns: AtomicU64::new(0),
         });
 
         let (intake_tx, intake_rx) = bounded::<Block>(opts.intake_capacity.max(1));
@@ -387,7 +421,15 @@ impl Committer {
                 std::thread::Builder::new()
                     .name("commit-admitter".into())
                     .spawn(move || {
-                        admitter(&shared, &intake_rx, &task_tx, &done_tx, workers, start_height)
+                        admitter(
+                            &shared,
+                            &intake_rx,
+                            &task_tx,
+                            &done_tx,
+                            workers,
+                            opts.vscc_chunk_target,
+                            start_height,
+                        )
                     })
                     .expect("spawn admitter"),
             );
@@ -416,8 +458,12 @@ fn vscc_worker(shared: &Shared, tasks: &Receiver<VsccTask>, done: &Sender<Comple
     while let Ok(task) = tasks.recv() {
         let envelopes = &task.job.block.envelopes[task.start..task.start + task.len];
         let mut local = Vec::with_capacity(task.len);
+        let started = Instant::now();
         for envelope in envelopes {
             local.push(shared.committer.validate_envelope(&shared.ledger, envelope));
+        }
+        if task.len > 0 {
+            shared.observe_vscc_cost(started.elapsed() / task.len as u32);
         }
         task.job.flags.lock()[task.start..task.start + task.len].copy_from_slice(&local);
         // The last chunk to finish forwards the block to the sequencer.
@@ -429,12 +475,14 @@ fn vscc_worker(shared: &Shared, tasks: &Receiver<VsccTask>, done: &Sender<Comple
 }
 
 /// Admission thread: order check, dependency stalls, chunk dispatch.
+#[allow(clippy::too_many_arguments)]
 fn admitter(
     shared: &Shared,
     intake: &Receiver<Block>,
     tasks: &Sender<VsccTask>,
     done: &Sender<CompletedVscc>,
     workers: usize,
+    chunk_target: Duration,
     mut next_expected: u64,
 ) {
     let mut inflight: VecDeque<InflightBlock> = VecDeque::new();
@@ -490,11 +538,21 @@ fn admitter(
         }
 
         let n = block.envelopes.len();
-        let n_tasks = if n == 0 {
+        // Adaptive chunk size: aim for `chunk_target` of work per task,
+        // never coarser than an even split across the pool (the cold-start
+        // behaviour before any cost sample exists).
+        let chunk = if n == 0 {
             1
         } else {
-            n.div_ceil(n.div_ceil(workers.min(n)))
+            let even = n.div_ceil(workers.min(n));
+            let ewma_ns = shared.vscc_cost_ns.load(Ordering::Relaxed);
+            if ewma_ns == 0 {
+                even
+            } else {
+                ((chunk_target.as_nanos() as u64 / ewma_ns).max(1) as usize).min(even)
+            }
         };
+        let n_tasks = if n == 0 { 1 } else { n.div_ceil(chunk) };
         let job = Arc::new(VsccJob {
             block: Arc::new(block),
             flags: Mutex::new(vec![TxValidationCode::NotValidated; n]),
@@ -517,7 +575,6 @@ fn admitter(
                 break 'accept;
             }
         } else {
-            let chunk = n.div_ceil(workers.min(n));
             for start in (0..n).step_by(chunk) {
                 let task = VsccTask {
                     job: job.clone(),
@@ -533,6 +590,14 @@ fn admitter(
         let mut stats = shared.stats.lock();
         stats.queues.intake_peak = stats.queues.intake_peak.max(intake.len());
         stats.queues.vscc_tasks_peak = stats.queues.vscc_tasks_peak.max(tasks.len());
+        if n > 0 {
+            stats.queues.chunk_min = if stats.queues.chunk_min == 0 {
+                chunk
+            } else {
+                stats.queues.chunk_min.min(chunk)
+            };
+            stats.queues.chunk_max = stats.queues.chunk_max.max(chunk);
+        }
     }
     // Dropping the task/done senders lets the workers and sequencer drain
     // what was dispatched and then exit.
@@ -690,7 +755,7 @@ impl PipelineHandle {
 
     /// Snapshot of the running statistics.
     pub fn stats(&self) -> PipelineStats {
-        self.shared.stats.lock().clone()
+        self.shared.stats_snapshot()
     }
 
     /// Closes the intake, drains every submitted block, and returns the
@@ -703,7 +768,7 @@ impl PipelineHandle {
         if let Some(err) = self.shared.error.lock().take() {
             return Err(err);
         }
-        Ok(self.shared.stats.lock().clone())
+        Ok(self.shared.stats_snapshot())
     }
 
     /// Hard stop: abandons queued and in-flight blocks without committing
@@ -813,6 +878,7 @@ mod tests {
         let handle = pipelined.pipeline_with(PipelineOptions {
             vscc_workers: 4,
             intake_capacity: 2,
+            ..PipelineOptions::default()
         });
         let events = handle.events();
         for block in &blocks {
@@ -946,6 +1012,7 @@ mod tests {
         let handle = pipelined.pipeline_with(PipelineOptions {
             vscc_workers: 4,
             intake_capacity: 8,
+            ..PipelineOptions::default()
         });
         let events = handle.events();
         handle.submit(deploy_block).unwrap();
@@ -968,6 +1035,64 @@ mod tests {
             stats.queues.dependency_stalls >= 1,
             "the reader block must have stalled on the writer"
         );
+    }
+
+    /// Custom VSCC with a fixed per-transaction cost, so the chunk
+    /// sizer's input is deterministic regardless of machine speed.
+    struct SleepVscc(Duration);
+
+    impl Vscc for SleepVscc {
+        fn validate(
+            &self,
+            _tx: &Transaction,
+            _msp: &MspRegistry,
+            _channel_orgs: &[String],
+            _ledger: &fabric_ledger::Ledger,
+        ) -> TxValidationCode {
+            std::thread::sleep(self.0);
+            TxValidationCode::Valid
+        }
+    }
+
+    #[test]
+    fn chunk_size_adapts_to_vscc_cost() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+        let blocks = build_put_chain(&fixture, &builder, &admin, &client, 3, 8);
+        let per_tx = Duration::from_millis(2);
+
+        // Expensive transactions against a small chunk target: once the
+        // EWMA has seen the 2 ms cost, every chunk shrinks to one tx.
+        let peer = fx::make_peer(&fixture, &fixture.ca1, "pipe-fine.org1");
+        peer.register_vscc("kvcc", Arc::new(SleepVscc(per_tx)));
+        let handle = peer.pipeline_with(PipelineOptions {
+            vscc_workers: 2,
+            vscc_chunk_target: Duration::from_micros(500),
+            ..PipelineOptions::default()
+        });
+        for block in &blocks {
+            handle.submit(block.clone()).unwrap();
+        }
+        let stats = handle.close().unwrap();
+        assert_eq!(stats.queues.chunk_min, 1, "2ms txs vs 0.5ms target");
+        assert!(stats.vscc_cost_ewma >= Duration::from_millis(1));
+
+        // Same load with a huge target: chunks stay capped at the even
+        // split across the pool (coarsest allowed), never coarser.
+        let peer = fx::make_peer(&fixture, &fixture.ca1, "pipe-coarse.org1");
+        peer.register_vscc("kvcc", Arc::new(SleepVscc(per_tx)));
+        let handle = peer.pipeline_with(PipelineOptions {
+            vscc_workers: 2,
+            vscc_chunk_target: Duration::from_secs(5),
+            ..PipelineOptions::default()
+        });
+        for block in &blocks {
+            handle.submit(block.clone()).unwrap();
+        }
+        let stats = handle.close().unwrap();
+        assert_eq!(stats.queues.chunk_max, 4, "8 txs over 2 workers");
     }
 
     #[test]

@@ -377,6 +377,116 @@ mod tests {
     }
 
     #[test]
+    fn compaction_bounds_log_and_replication_continues() {
+        let mut cluster = Cluster::new(3, 55);
+        let leader = cluster.elect_leader(200);
+        for i in 0..10u8 {
+            cluster.propose(vec![i]).unwrap();
+        }
+        for _ in 0..10 {
+            cluster.tick();
+        }
+        // Every follower matched all 10 entries; the leader may compact
+        // everything it applied.
+        let idx = (leader - 1) as usize;
+        assert_eq!(cluster.nodes[idx].compact(10), 10);
+        assert_eq!(cluster.nodes[idx].log_offset(), 10);
+        assert_eq!(cluster.nodes[idx].retained_len(), 0);
+        assert_eq!(cluster.nodes[idx].log_len(), 10, "total length unchanged");
+        assert!(cluster.nodes[idx].entry(5).is_none(), "compacted entry gone");
+
+        // Followers compact independently, clamped to what they applied.
+        for i in 0..3usize {
+            if i != idx {
+                let applied = cluster.nodes[i].commit_index();
+                assert_eq!(cluster.nodes[i].compact(u64::MAX), applied);
+            }
+        }
+
+        // Replication continues seamlessly past the compaction point.
+        for i in 10..15u8 {
+            cluster.propose(vec![i]).unwrap();
+        }
+        for _ in 0..10 {
+            cluster.tick();
+        }
+        cluster.assert_agreement();
+        for committed in &cluster.committed {
+            assert_eq!(committed.len(), 15);
+        }
+        assert!(cluster.nodes[idx].entry(12).is_some());
+    }
+
+    #[test]
+    fn leader_compaction_clamps_to_slowest_follower() {
+        let mut cluster = Cluster::new(3, 66);
+        let leader = cluster.elect_leader(200);
+        cluster.propose(b"seed".to_vec()).unwrap();
+        for _ in 0..5 {
+            cluster.tick();
+        }
+        // Partition one follower; the other still forms a majority.
+        let straggler = (1..=3).find(|&i| i != leader).unwrap();
+        cluster.fault = Box::new(move |m| {
+            if m.from == straggler || m.to == straggler {
+                Fate::Drop
+            } else {
+                Fate::Deliver
+            }
+        });
+        for i in 0..8u8 {
+            cluster.propose(vec![i]).unwrap();
+            cluster.tick();
+        }
+        let idx = (leader - 1) as usize;
+        let committed = cluster.nodes[idx].commit_index();
+        assert!(committed >= 9, "majority still commits");
+        // The straggler only matched the first entry, so compaction is
+        // clamped there — the entries it still needs stay in the log.
+        let offset = cluster.nodes[idx].compact(committed);
+        assert!(
+            offset <= 1,
+            "compaction must not discard entries the straggler needs (offset {offset})"
+        );
+        // Heal; the straggler catches up entirely from the retained log.
+        cluster.fault = Box::new(|_| Fate::Deliver);
+        for _ in 0..100 {
+            cluster.tick();
+        }
+        cluster.assert_agreement();
+        let s_idx = (straggler - 1) as usize;
+        assert_eq!(cluster.committed[s_idx].len(), 9);
+    }
+
+    #[test]
+    fn follower_catches_up_from_compacted_leader_boundary() {
+        // Compact on the leader right at the matched frontier, then keep
+        // proposing: appends reference the boundary term (snapshot_term)
+        // and must stay consistent.
+        let mut cluster = Cluster::new(3, 91);
+        cluster.elect_leader(200);
+        for i in 0..4u8 {
+            cluster.propose(vec![i]).unwrap();
+        }
+        for _ in 0..10 {
+            cluster.tick();
+        }
+        for node in &mut cluster.nodes {
+            node.compact(u64::MAX);
+        }
+        for i in 4..8u8 {
+            cluster.propose(vec![i]).unwrap();
+        }
+        for _ in 0..10 {
+            cluster.tick();
+        }
+        cluster.assert_agreement();
+        for committed in &cluster.committed {
+            assert_eq!(committed.len(), 8);
+        }
+    }
+
+    #[test]
     fn agreement_under_random_partitions() {
         // Randomized stress: alternate partitions and healing, keep
         // proposing, assert agreement at every step.

@@ -12,10 +12,14 @@
 //! [`cluster::Cluster`]) and lets the same code run threaded or inside the
 //! discrete-event simulator.
 //!
-//! Scope notes: leadership transfer, membership change, and log-compaction
-//! snapshots are not implemented — the ordering service uses a static OSN
-//! cluster per channel and persists delivered blocks itself, so the Raft
-//! log is a transport, not the system of record.
+//! Scope notes: leadership transfer and membership change are not
+//! implemented — the ordering service uses a static OSN cluster per
+//! channel and persists delivered blocks itself, so the Raft log is a
+//! transport, not the system of record. Log growth is bounded by
+//! *anchored compaction* ([`RaftNode::compact`]): the driver passes the
+//! latest peer state-checkpoint height and the node discards applied
+//! entries up to it, clamped so no follower ever needs a discarded entry
+//! (which is why no InstallSnapshot RPC is required).
 
 pub mod cluster;
 pub mod message;

@@ -68,6 +68,12 @@ pub struct RaftNode {
     term: u64,
     voted_for: Option<NodeId>,
     log: Vec<LogEntry>,
+    /// Entries `1..=log_offset` have been compacted away; `log[0]` is the
+    /// entry at index `log_offset + 1`.
+    log_offset: u64,
+    /// Term of the entry at `log_offset` (the compaction boundary), needed
+    /// for consistency checks that reference it.
+    snapshot_term: u64,
 
     // Volatile state.
     role: Role,
@@ -96,6 +102,8 @@ impl RaftNode {
             term: 0,
             voted_for: None,
             log: Vec::new(),
+            log_offset: 0,
+            snapshot_term: 0,
             role: Role::Follower,
             commit_index: 0,
             last_applied: 0,
@@ -140,17 +148,62 @@ impl RaftNode {
         }
     }
 
-    /// Number of entries in the log.
+    /// Total log length (compacted prefix included).
     pub fn log_len(&self) -> u64 {
+        self.log_offset + self.log.len() as u64
+    }
+
+    /// Number of entries retained in memory (after compaction).
+    pub fn retained_len(&self) -> u64 {
         self.log.len() as u64
     }
 
-    /// Reads a log entry by 1-based index.
+    /// Highest compacted index; entries at or below it are gone.
+    pub fn log_offset(&self) -> u64 {
+        self.log_offset
+    }
+
+    /// Reads a log entry by 1-based index; `None` for out-of-range *and*
+    /// compacted indices.
     pub fn entry(&self, index: u64) -> Option<&LogEntry> {
-        if index == 0 {
+        if index <= self.log_offset {
             return None;
         }
-        self.log.get(index as usize - 1)
+        self.log.get((index - self.log_offset) as usize - 1)
+    }
+
+    /// Discards applied log entries up to `upto`, anchoring the compaction
+    /// point so the node never discards an entry it may still need:
+    ///
+    /// * never beyond `commit_index` / `last_applied`;
+    /// * on a leader, never beyond the slowest follower's `match_index`
+    ///   (so every follower can still be repaired from the log, without an
+    ///   InstallSnapshot RPC — a freshly elected leader therefore
+    ///   compacts nothing until followers respond).
+    ///
+    /// The ordering service calls this with the latest peer state
+    /// checkpoint height: blocks covered by a durable peer snapshot no
+    /// longer need the Raft log as their transport, and a consenter that
+    /// somehow lags below the anchor recovers via state transfer instead.
+    ///
+    /// Returns the new `log_offset`.
+    pub fn compact(&mut self, upto: u64) -> u64 {
+        let mut limit = upto.min(self.commit_index).min(self.last_applied);
+        if self.role == Role::Leader {
+            let min_match = self
+                .peers
+                .iter()
+                .map(|p| *self.match_index.get(p).unwrap_or(&0))
+                .min()
+                .unwrap_or(limit);
+            limit = limit.min(min_match);
+        }
+        if limit > self.log_offset {
+            self.snapshot_term = self.term_at(limit);
+            self.log.drain(..(limit - self.log_offset) as usize);
+            self.log_offset = limit;
+        }
+        self.log_offset
     }
 
     fn quorum(&self) -> usize {
@@ -158,19 +211,23 @@ impl RaftNode {
     }
 
     fn last_log_index(&self) -> u64 {
-        self.log.len() as u64
+        self.log_offset + self.log.len() as u64
     }
 
     fn last_log_term(&self) -> u64 {
-        self.log.last().map(|e| e.term).unwrap_or(0)
+        self.log.last().map(|e| e.term).unwrap_or(self.snapshot_term)
     }
 
     fn term_at(&self, index: u64) -> u64 {
         if index == 0 {
             0
+        } else if index <= self.log_offset {
+            // Compacted entries are committed, hence identical on every
+            // node; only the boundary term is ever compared.
+            self.snapshot_term
         } else {
             self.log
-                .get(index as usize - 1)
+                .get((index - self.log_offset) as usize - 1)
                 .map(|e| e.term)
                 .unwrap_or(0)
         }
@@ -358,10 +415,13 @@ impl RaftNode {
     }
 
     fn send_append(&mut self, peer: NodeId, out: &mut Vec<Output>) {
-        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        // A follower below the compaction point cannot be repaired from
+        // the log; resume from the boundary (the driver is responsible
+        // for state-transferring such a follower — see `compact`).
+        let next = (*self.next_index.get(&peer).unwrap_or(&1)).max(self.log_offset + 1);
         let prev_log_index = next - 1;
         let prev_log_term = self.term_at(prev_log_index);
-        let from = next as usize - 1;
+        let from = (next - 1 - self.log_offset) as usize;
         let to = (from + self.config.max_batch).min(self.log.len());
         let entries = if from < self.log.len() {
             self.log[from..to].to_vec()
@@ -410,6 +470,16 @@ impl RaftNode {
         self.leader_hint = Some(from);
         self.reset_election_deadline();
 
+        // A prefix that ends inside our compacted region is committed and
+        // identical cluster-wide: skip the already-compacted entries and
+        // anchor the consistency check at the compaction boundary.
+        let (prev_log_index, prev_log_term, entries) = if prev_log_index < self.log_offset {
+            let skip = ((self.log_offset - prev_log_index) as usize).min(entries.len());
+            (self.log_offset, self.snapshot_term, entries[skip..].to_vec())
+        } else {
+            (prev_log_index, prev_log_term, entries)
+        };
+
         // Consistency check.
         if prev_log_index > self.last_log_index()
             || self.term_at(prev_log_index) != prev_log_term
@@ -426,12 +496,16 @@ impl RaftNode {
             });
             return;
         }
-        // Append, truncating conflicts.
+        // Append, truncating conflicts. Entries at or below the
+        // compaction boundary are committed and identical; never touched.
         let mut index = prev_log_index;
         for entry in entries {
             index += 1;
+            if index <= self.log_offset {
+                continue;
+            }
             if self.term_at(index) != entry.term {
-                self.log.truncate(index as usize - 1);
+                self.log.truncate((index - self.log_offset) as usize - 1);
                 self.log.push(entry);
             }
         }
@@ -502,7 +576,10 @@ impl RaftNode {
     fn emit_applied(&mut self, out: &mut Vec<Output>) {
         while self.last_applied < self.commit_index {
             self.last_applied += 1;
-            let data = self.log[self.last_applied as usize - 1].data.clone();
+            // `compact` never discards above `last_applied`, so the entry
+            // is always retained.
+            let slot = (self.last_applied - self.log_offset) as usize - 1;
+            let data = self.log[slot].data.clone();
             out.push(Output::Committed {
                 index: self.last_applied,
                 data,

@@ -1,0 +1,81 @@
+//! # fabric-statesync
+//!
+//! Checkpointed state snapshots and verified state transfer, the catch-up
+//! path the paper attributes to gossip ("bringing newly connected peers up
+//! to speed", Sec. 4.3) and the snapshot anchor the ordering service needs
+//! for log compaction (Sec. 4.2).
+//!
+//! Replaying every block from genesis makes join time linear in chain
+//! length, with validation (VSCC signature checks) dominating. This crate
+//! lets a peer jump straight to a recent committed state instead:
+//!
+//! * A **checkpoint producer** ([`Checkpointer`]) walks the versioned
+//!   kvstore every N committed blocks and emits a content-addressed
+//!   [`Snapshot`]: the raw state entries serialized into fixed-size
+//!   chunks, chunks grouped into Merkle-rooted segments, and a signed
+//!   [`Manifest`] binding `{channel, height, block hash, segment roots}`.
+//! * A **catch-up consumer** ([`Catchup`]) fetches the manifest from one
+//!   provider and segments from *many* providers in parallel, verifies
+//!   every chunk against the manifest's Merkle roots before install, and
+//!   hands the verified entries to `Ledger::install_snapshot` (atomic
+//!   under the kvstore savepoint protocol). Blocks above the snapshot
+//!   height then replay through the ordinary committer pipeline.
+//! * **Robustness**: per-provider timeouts with exponential backoff,
+//!   re-fetch of corrupt or mismatched segments from a different
+//!   provider, and a graceful [`SyncOutput::Fallback`] to full block
+//!   replay when no snapshot provider is reachable.
+//!
+//! Like the gossip and consensus crates, the consumer is a deterministic
+//! state machine — drivers feed ticks and messages ([`Catchup::step`],
+//! [`Catchup::tick`]) and act on the returned [`SyncOutput`]s. The
+//! [`SyncMessage`]s are `Wire`-serializable so they travel as opaque
+//! payloads inside gossip's `StateSync` message.
+//!
+//! ## Trust model
+//!
+//! The manifest must carry a signature that validates under the channel's
+//! MSP federation — any channel member can vouch for a snapshot. The
+//! install is additionally anchored to the block chain: the first block
+//! appended after install must chain onto the manifest's `block_hash`
+//! (enforced by the rebased block store), so a member that signs a
+//! manifest for a state it never committed is caught at the first
+//! orderer-signed block. Segment data needs no signatures at all: every
+//! chunk is verified against the manifest's Merkle roots, so state bytes
+//! can be fetched from any peer, in parallel, over untrusted paths.
+
+pub mod consumer;
+pub mod manifest;
+pub mod snapshot;
+
+pub use consumer::{Catchup, ConsumerConfig, ProviderId, SyncOutput};
+pub use manifest::{Manifest, SegmentInfo, SignedManifest, SyncMessage};
+pub use snapshot::{
+    build_snapshot, decode_entries, Checkpointer, Snapshot, SnapshotConfig, SnapshotStore,
+    StateEntries,
+};
+
+/// Errors surfaced by snapshot production and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// A snapshot cannot cover an empty ledger.
+    EmptyLedger,
+    /// Snapshot bytes or a manifest failed structural validation.
+    Corrupt(String),
+    /// A manifest's signature did not validate under the channel MSPs.
+    Untrusted(String),
+}
+
+impl core::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SyncError::EmptyLedger => write!(f, "ledger holds no blocks to snapshot"),
+            SyncError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SyncError::Untrusted(msg) => write!(f, "untrusted manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+#[cfg(test)]
+mod tests;

@@ -25,6 +25,7 @@
 //! | [`pbft`] | `fabric-pbft` | Sec. 4.2 (BFT-SMaRt substitute) |
 //! | [`ordering`] | `fabric-ordering` | Sec. 3.3, 4.2 ordering service |
 //! | [`gossip`] | `fabric-gossip` | Sec. 4.3 |
+//! | [`statesync`] | `fabric-statesync` | Sec. 4.3 state transfer, 4.2 log compaction anchor |
 //! | [`chaincode`] | `fabric-chaincode` | Sec. 4.5, 4.6 |
 //! | [`peer`] | `fabric-peer` | Sec. 3.2, 3.4 endorser + committer |
 //! | [`client`] | `fabric-client` | Sec. 3.2 client SDK |
@@ -46,3 +47,4 @@ pub use fabric_policy as policy;
 pub use fabric_primitives as primitives;
 pub use fabric_raft as raft;
 pub use fabric_simnet as simnet;
+pub use fabric_statesync as statesync;

@@ -219,6 +219,7 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
                 }
             }
             GossipOutput::PullFromOrderer { .. } => {}
+            GossipOutput::DeliverStateSync { .. } => {}
         }
     }
 

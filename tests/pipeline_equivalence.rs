@@ -31,6 +31,7 @@ fn commit_pipelined(
     let handle = peer.pipeline_with(PipelineOptions {
         vscc_workers,
         intake_capacity: 4,
+        ..PipelineOptions::default()
     });
     let events = handle.events();
     for block in blocks {

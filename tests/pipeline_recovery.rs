@@ -61,6 +61,7 @@ fn abort_with_queued_blocks_recovers_from_savepoint() {
     let handle = victim.pipeline_with(PipelineOptions {
         vscc_workers: 2,
         intake_capacity: 2,
+        ..PipelineOptions::default()
     });
     for block in &world.blocks {
         handle.submit(block.clone()).expect("pipeline accepts");
@@ -105,6 +106,70 @@ fn abort_with_queued_blocks_recovers_from_savepoint() {
         reopened.scan_state("kv", "", "").unwrap(),
         reference.scan_state("kv", "", "").unwrap(),
         "post-recovery state equals the never-crashed reference"
+    );
+}
+
+#[test]
+fn torn_block_file_append_truncated_and_redelivered() {
+    // A crash mid-append can leave half a block record at the tail of
+    // `blocks.dat` (before the PTM saw anything). Reopening must discard
+    // the torn tail, resume from the last intact block, and accept the
+    // re-delivered block as if the torn write never happened.
+    let mut world = PipelineWorld::new();
+    for b in 0..2u8 {
+        let e = world.endorse("put", vec![format!("t{b}").into_bytes(), vec![b; 24]]);
+        world.seal_block(vec![e]);
+    }
+
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    {
+        let peer = world.replica_on("victim.org1", 2, backend.clone());
+        for block in &world.blocks[..2] {
+            peer.commit_block(block).expect("prefix commits");
+        }
+    }
+    // Record the intact file length, then append block 3's record and cut
+    // it in half — the crash window inside the block-store append.
+    let intact_len = backend.open("blocks.dat").unwrap().len().unwrap();
+    {
+        let store = BlockStore::open(backend.clone(), false).expect("store opens");
+        let mut torn = world.blocks[2].clone();
+        torn.metadata.validation = vec![TxValidationCode::Valid];
+        store.append(&torn).expect("append starts");
+    }
+    {
+        let mut file = backend.open("blocks.dat").unwrap();
+        let full_len = file.len().unwrap();
+        assert!(full_len > intact_len, "the record reached the file");
+        file.truncate(intact_len + (full_len - intact_len) / 2).unwrap();
+    }
+
+    // Reopen: the half record is truncated away, the chain ends at the
+    // last intact block, and the savepoint agrees.
+    let reopened = world.replica_on("victim.org1", 2, backend.clone());
+    assert_eq!(reopened.height(), 3, "torn tail discarded");
+    assert_eq!(reopened.ledger().ptm().savepoint(), Some(2));
+    assert_eq!(
+        reopened.get_state("kv", "t1").unwrap(),
+        None,
+        "the torn block's writes never surfaced"
+    );
+
+    // Re-delivering the block commits it cleanly; state converges with a
+    // never-crashed reference.
+    reopened
+        .commit_block(&world.blocks[2])
+        .expect("redelivered tail block commits");
+    let reference = world.replica("reference.org1", 2);
+    for block in &world.blocks {
+        reference.commit_block(block).expect("reference commits");
+    }
+    assert_eq!(reopened.height(), reference.height());
+    assert_eq!(reopened.ledger().last_hash(), reference.ledger().last_hash());
+    assert_eq!(
+        reopened.ledger().state_entries(),
+        reference.ledger().state_entries(),
+        "byte-identical kvstore after torn-write recovery"
     );
 }
 
