@@ -2,12 +2,12 @@
 # CI gate for the fabric reproduction.
 #
 #  1. Tier-1 (ROADMAP.md): release build + full quiet test suite.
-#  2. The peer crate (committer + pipeline) builds warning-free and its
-#     unit tests pass on their own — new warnings in fabric-peer fail CI.
+#  2. The peer crate (committer + multi-channel pipeline) passes clippy
+#     with -D warnings and its unit tests pass on their own.
 #  3. The statesync crate passes clippy with -D warnings.
-#  4. The snapshot catch-up bench completes a smoke sweep (~10 s) —
-#     catches bit-rot in the join_from_snapshot / snapshot wire path
-#     that unit tests alone might miss.
+#  4. The snapshot catch-up and multi-channel overlap benches complete a
+#     smoke sweep (~15 s) — catches bit-rot in the snapshot wire path and
+#     the shared-pool pipeline manager that unit tests alone might miss.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -19,12 +19,16 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== fabric-peer: warning gate (RUSTFLAGS=-Dwarnings) =="
-# Touch the crate so rustc re-emits any warnings cached from the builds
-# above, then deny them.
-find crates/peer/src -name '*.rs' -exec touch {} +
-RUSTFLAGS="-Dwarnings" cargo build -p fabric-peer
-RUSTFLAGS="-Dwarnings" cargo test -q -p fabric-peer
+echo "== fabric-peer: clippy gate (-D warnings) + unit tests =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/peer/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-peer --all-targets -- -D warnings
+else
+    echo "clippy not installed; falling back to rustc warning gate"
+    find crates/peer/src -name '*.rs' -exec touch {} +
+    RUSTFLAGS="-Dwarnings" cargo build -p fabric-peer
+fi
+cargo test -q -p fabric-peer
 
 echo "== fabric-statesync: clippy gate (-D warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
@@ -36,5 +40,8 @@ fi
 
 echo "== catch-up bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench
+
+echo "== multi-channel overlap bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench multi_channel_overlap -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

@@ -1,0 +1,485 @@
+//! Multi-channel pipeline benchmark: per-channel validation pipelines
+//! sharing one global VSCC worker pool ([`fabric::peer::PipelineManager`]).
+//!
+//! Two scenarios:
+//!
+//! 1. **Pool sharing under a barrier-stalled channel.** Channel A commits
+//!    a chain of lifecycle (LSCC-writing) blocks — every one a dependency
+//!    barrier, so A's pipeline spends most of its life stalled waiting for
+//!    its own in-flight work to drain. Channel B pushes key-disjoint
+//!    Fabcoin spends through the same pool. Because a stalled admitter
+//!    holds no pool workers, B's throughput next to A must stay within a
+//!    few percent of B running alone.
+//!
+//! 2. **Key-level vs block-level dependency stalls.** Fabcoin's custom
+//!    VSCC reads committed coin state, so the conservative block-level
+//!    rule serializes every block behind its predecessor. The key-level
+//!    conflict index sees that the spends touch disjoint coins and lets
+//!    them overlap — the pipelining win on exactly the workload the paper
+//!    optimizes (Sec. 4.2, Fabcoin).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fabric::chaincode::{Vscc, LSCC_NAMESPACE};
+use fabric::client::Client;
+use fabric::fabcoin::{
+    coin_key, CentralBank, CoinState, FabcoinChaincode, FabcoinVscc, Wallet, FABCOIN_NAMESPACE,
+};
+use fabric::kvstore::MemBackend;
+use fabric::ledger::Ledger;
+use fabric::msp::{MspRegistry, Role};
+use fabric::ordering::testkit::{make_envelope, TestNet};
+use fabric::ordering::OrderingCluster;
+use fabric::peer::{DependencyMode, Peer, PeerConfig, PipelineManager, PipelineOptions};
+use fabric::primitives::block::Block;
+use fabric::primitives::config::ConsensusType;
+use fabric::primitives::ids::{TxId, TxValidationCode};
+use fabric::primitives::rwset::{KeyWrite, NsReadWriteSet, TxReadWriteSet};
+use fabric::primitives::transaction::Transaction;
+use fabric::primitives::wire::Wire;
+use fabric_bench::stats::Table;
+
+/// Stands in for a lifecycle check with real latency, so the barrier
+/// channel's transactions are not free.
+struct SlowLifecycleVscc(Duration);
+
+impl Vscc for SlowLifecycleVscc {
+    fn validate(
+        &self,
+        _tx: &Transaction,
+        _msp: &MspRegistry,
+        _channel_orgs: &[String],
+        _ledger: &Ledger,
+    ) -> TxValidationCode {
+        std::thread::sleep(self.0);
+        TxValidationCode::Valid
+    }
+}
+
+fn make_fabcoin_peer(
+    net: &TestNet,
+    genesis: &Block,
+    bank: &CentralBank,
+    name: &str,
+    vscc_parallelism: usize,
+) -> Peer {
+    make_fabcoin_peer_on(
+        net,
+        genesis,
+        bank,
+        name,
+        vscc_parallelism,
+        Arc::new(MemBackend::new()),
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_fabcoin_peer_on(
+    net: &TestNet,
+    genesis: &Block,
+    bank: &CentralBank,
+    name: &str,
+    vscc_parallelism: usize,
+    backend: Arc<dyn fabric::kvstore::Backend>,
+    sync_writes: bool,
+) -> Peer {
+    let identity =
+        fabric::msp::issue_identity(&net.org_cas[0], name, Role::Peer, name.as_bytes());
+    let peer = Peer::join(
+        identity,
+        genesis,
+        backend,
+        PeerConfig {
+            vscc_parallelism,
+            runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None },
+            sync_writes,
+        },
+    )
+    .expect("peer joins");
+    peer.install_chaincode(FABCOIN_NAMESPACE, Arc::new(FabcoinChaincode));
+    peer.register_vscc(
+        FABCOIN_NAMESPACE,
+        Arc::new(FabcoinVscc::new(bank.public_keys(), 1)),
+    );
+    peer
+}
+
+/// Builds the spend chain once: a mint block (setup) plus `n_blocks`
+/// blocks of `txs_per_block` key-disjoint single-coin spends.
+fn build_spend_chain(
+    net: &TestNet,
+    genesis: &Block,
+    bank: &CentralBank,
+    n_blocks: usize,
+    txs_per_block: usize,
+) -> (Vec<Block>, Vec<Block>) {
+    let builder = make_fabcoin_peer(net, genesis, bank, "builder.org1", 2);
+    let client_identity = fabric::msp::issue_identity(
+        &net.org_cas[0],
+        "client.org1",
+        Role::Client,
+        b"mc-overlap-client",
+    );
+    let client = Client::new(client_identity, net.channel.clone());
+    let mut wallet = Wallet::new();
+    let address = wallet.new_address(b"mc-overlap-wallet");
+
+    let n_tx = n_blocks * txs_per_block;
+    let mut mint_envelopes = Vec::new();
+    let mut minted = 0usize;
+    while minted < n_tx {
+        let count = 200.min(n_tx - minted);
+        let outputs: Vec<CoinState> = (0..count)
+            .map(|_| CoinState {
+                amount: 10,
+                owner: address.clone(),
+                label: "FBC".into(),
+            })
+            .collect();
+        let nonce = client.next_nonce();
+        let txid = TxId::derive(&client.identity().serialized().to_wire(), &nonce);
+        let request = bank.create_mint(outputs.clone(), &txid, 1);
+        let proposal = client.create_proposal_with_nonce(
+            FABCOIN_NAMESPACE,
+            "mint",
+            vec![request.to_wire()],
+            nonce,
+        );
+        let responses = client
+            .collect_endorsements(&proposal, &[&builder])
+            .expect("mint endorses");
+        mint_envelopes.push(client.assemble_transaction(&proposal, &responses));
+        for (j, output) in outputs.iter().enumerate() {
+            wallet.note_coin(&coin_key(&txid, j as u32), output);
+        }
+        minted += count;
+    }
+    let mint_block = Block::new(1, genesis.hash(), mint_envelopes);
+    builder
+        .commit_block(&mint_block)
+        .expect("mint block commits");
+    let setup = vec![mint_block];
+
+    let coins = wallet.coins("FBC");
+    assert!(coins.len() >= n_tx, "not enough coins minted");
+    let mut measured = Vec::with_capacity(n_blocks);
+    let mut prev = setup[0].hash();
+    let mut next_number = builder.height();
+    for chunk in coins.chunks(txs_per_block).take(n_blocks) {
+        let envelopes = chunk
+            .iter()
+            .map(|coin| {
+                let nonce = client.next_nonce();
+                let txid =
+                    TxId::derive(&client.identity().serialized().to_wire(), &nonce);
+                let request = wallet
+                    .create_spend(
+                        &[coin.key.clone()],
+                        vec![CoinState {
+                            amount: coin.amount,
+                            owner: address.clone(),
+                            label: "FBC".into(),
+                        }],
+                        &txid,
+                    )
+                    .expect("wallet owns coin");
+                let proposal = client.create_proposal_with_nonce(
+                    FABCOIN_NAMESPACE,
+                    "spend",
+                    vec![request.to_wire()],
+                    nonce,
+                );
+                let responses = client
+                    .collect_endorsements(&proposal, &[&builder])
+                    .expect("spend endorses");
+                client.assemble_transaction(&proposal, &responses)
+            })
+            .collect();
+        let block = Block::new(next_number, prev, envelopes);
+        prev = block.hash();
+        next_number += 1;
+        measured.push(block);
+    }
+    (setup, measured)
+}
+
+/// Builds `n_blocks` one-transaction blocks that each write into the
+/// LSCC namespace: every one is a dependency barrier for its pipeline.
+fn build_barrier_chain(net: &TestNet, genesis: &Block, n_blocks: usize) -> Vec<Block> {
+    let client = net.client(0, "barrier-client");
+    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut prev = genesis.hash();
+    for i in 0..n_blocks {
+        let mut nonce = [0u8; 32];
+        nonce[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        let rwset = TxReadWriteSet::single(NsReadWriteSet {
+            namespace: LSCC_NAMESPACE.into(),
+            reads: vec![],
+            range_queries: vec![],
+            writes: vec![KeyWrite {
+                key: format!("bench-cc-{i}"),
+                value: Some(vec![1]),
+            }],
+        });
+        let envelope = make_envelope(&client, &net.channel, nonce, rwset);
+        let block = Block::new((i + 1) as u64, prev, vec![envelope]);
+        prev = block.hash();
+        blocks.push(block);
+    }
+    blocks
+}
+
+/// Drains `measured` through `handle`, returning transactions per second.
+fn drive(handle: &fabric::peer::PipelineHandle, measured: &[Block], total_txs: usize) -> f64 {
+    let final_height = measured.last().unwrap().header.number + 1;
+    let t0 = Instant::now();
+    for block in measured {
+        handle.submit(block.clone()).expect("pipeline accepts");
+    }
+    handle.wait_committed(final_height).expect("pipeline drains");
+    total_txs as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("FABRIC_BENCH_SMOKE").is_ok();
+    let n_tx: usize = std::env::var("FABRIC_BENCH_TXS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 80 } else { 1_200 });
+    let txs_per_block = if smoke { 20 } else { 100 };
+    let n_blocks = (n_tx / txs_per_block).max(2);
+    let workers = std::env::var("FABRIC_BENCH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4)
+        });
+    let reps = if smoke { 1 } else { 3 };
+
+    let net = TestNet::new(&["Org1"], ConsensusType::Solo, 1);
+    let ordering =
+        OrderingCluster::new(ConsensusType::Solo, net.orderers(1), vec![net.genesis.clone()])
+            .expect("valid genesis");
+    let genesis = ordering.deliver(&net.channel, 0).expect("genesis");
+    let bank = CentralBank::new(1, b"mc-overlap-cb");
+    let (setup, measured) = build_spend_chain(&net, &genesis, &bank, n_blocks, txs_per_block);
+    let total_txs: usize = measured.iter().map(|b| b.envelopes.len()).sum();
+    let barrier_blocks = build_barrier_chain(&net, &genesis, (n_blocks * 2).max(16));
+
+    println!(
+        "== multi-channel pipelines on a shared {workers}-worker VSCC pool \
+         ({n_blocks} blocks x {txs_per_block} spends) =="
+    );
+
+    // Warm caches and allocator before anything is timed: the first trip
+    // through the chain is consistently 10-20% colder than the rest.
+    {
+        let peer = make_fabcoin_peer(&net, &genesis, &bank, "warmup.org1", workers);
+        for block in &setup {
+            peer.commit_block(block).expect("setup commits");
+        }
+        let handle = peer.pipeline_with(PipelineOptions {
+            vscc_workers: workers,
+            intake_capacity: 64,
+            ..PipelineOptions::default()
+        });
+        drive(&handle, &measured, total_txs);
+        handle.close().expect("warmup closes");
+    }
+
+    // Scenario 1: channel B alone vs channel B next to barrier-stalled
+    // channel A, both on one shared pool. Best of `reps` runs each.
+    let opts = PipelineOptions {
+        intake_capacity: 64,
+        ..PipelineOptions::default()
+    };
+    let run_alone = || {
+        let pool = PipelineManager::new(workers);
+        let peer_b = make_fabcoin_peer(&net, &genesis, &bank, "alone.org1", workers);
+        for block in &setup {
+            peer_b.commit_block(block).expect("setup commits");
+        }
+        let handle = peer_b.pipeline_shared(&pool, opts);
+        let tps = drive(&handle, &measured, total_txs);
+        handle.close().expect("pipeline closes");
+        pool.close();
+        tps
+    };
+    let run_concurrent = || {
+        let pool = PipelineManager::new(workers);
+        let peer_b = make_fabcoin_peer(&net, &genesis, &bank, "shared.org1", workers);
+        for block in &setup {
+            peer_b.commit_block(block).expect("setup commits");
+        }
+        let peer_a = {
+            let identity = fabric::msp::issue_identity(
+                &net.org_cas[0],
+                "barrier.org1",
+                Role::Peer,
+                b"barrier-peer",
+            );
+            Peer::join(
+                identity,
+                &genesis,
+                Arc::new(MemBackend::new()),
+                PeerConfig::default(),
+            )
+            .expect("peer joins")
+        };
+        // The barrier transactions cost real VSCC time, but the channel
+        // spends most of its life stalled, holding no pool workers.
+        peer_a.register_vscc("testcc", Arc::new(SlowLifecycleVscc(Duration::from_micros(300))));
+        let handle_a = peer_a.pipeline_shared(&pool, opts);
+        let handle_b = peer_b.pipeline_shared(&pool, opts);
+        let mut tps = 0.0;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for block in &barrier_blocks {
+                    if handle_a.submit(block.clone()).is_err() {
+                        break;
+                    }
+                }
+            });
+            tps = drive(&handle_b, &measured, total_txs);
+        });
+        let b_stats = handle_b.close().expect("channel B closes");
+        assert_eq!(b_stats.blocks, measured.len() as u64);
+        let a_stats = handle_a.stats();
+        // Channel A may still have barriers queued; discard the tail.
+        handle_a.abort();
+        pool.close();
+        (tps, a_stats.queues.dependency_stalls, a_stats.blocks)
+    };
+    // Interleave the two configurations so machine drift hits both alike.
+    let mut alone_tps = 0.0f64;
+    let mut concurrent = (0.0f64, 0usize, 0u64);
+    for _ in 0..reps {
+        alone_tps = alone_tps.max(run_alone());
+        let run = run_concurrent();
+        if run.0 > concurrent.0 {
+            concurrent = run;
+        }
+    }
+    let (concurrent_tps, a_stalls, a_committed) = concurrent;
+    let degradation = 100.0 * (1.0 - concurrent_tps / alone_tps);
+    let mut table = Table::new(&[
+        "channel B workload",
+        "tps",
+        "vs alone",
+        "barrier blocks beside it",
+    ]);
+    table.row(vec![
+        "alone".into(),
+        format!("{alone_tps:.0}"),
+        "-".into(),
+        "0".into(),
+    ]);
+    table.row(vec![
+        "beside barrier channel".into(),
+        format!("{concurrent_tps:.0}"),
+        format!("{degradation:+.1}%"),
+        format!("{a_committed} committed, {a_stalls} barrier stalls"),
+    ]);
+    table.print();
+    if !smoke {
+        assert!(
+            degradation <= 10.0,
+            "a barrier-stalled channel must not steal more than 10% of a \
+             busy channel's throughput (got {degradation:.1}%)"
+        );
+    }
+
+    // Scenario 2: block-level vs key-level dependency stalls on the
+    // key-disjoint spend workload (Fabcoin's VSCC reads committed state,
+    // so block-level serializes every block). The peer persists durably
+    // (FsBackend + synced appends), as a production committer would: the
+    // fsync is the sequential stage the block-level rule exposes on every
+    // block and the key-level rule hides behind the next blocks' VSCC.
+    let fine_per_block = if smoke { 5 } else { 10 };
+    let fine_blocks = (n_tx / fine_per_block).max(4);
+    let (fine_setup, fine_measured) =
+        build_spend_chain(&net, &genesis, &bank, fine_blocks, fine_per_block);
+    let fine_txs: usize = fine_measured.iter().map(|b| b.envelopes.len()).sum();
+    let bench_dir = std::env::temp_dir().join(format!("fabric-mc-overlap-{}", std::process::id()));
+    let mut run_seq = 0u32;
+    let mut run_mode = |mode: DependencyMode| {
+        run_seq += 1;
+        let dir = bench_dir.join(format!("run-{run_seq}"));
+        let backend = Arc::new(
+            fabric::kvstore::FsBackend::new(&dir).expect("bench scratch dir"),
+        );
+        let peer =
+            make_fabcoin_peer_on(&net, &genesis, &bank, "mode.org1", workers, backend, true);
+        for block in &fine_setup {
+            peer.commit_block(block).expect("setup commits");
+        }
+        let handle = peer.pipeline_with(PipelineOptions {
+            vscc_workers: workers,
+            intake_capacity: 64,
+            dependency_mode: mode,
+            ..PipelineOptions::default()
+        });
+        let tps = drive(&handle, &fine_measured, fine_txs);
+        let stats = handle.close().expect("pipeline closes");
+        assert_eq!(stats.blocks, fine_measured.len() as u64);
+        if std::env::var("FABRIC_BENCH_DEBUG").is_ok() {
+            eprintln!(
+                "[{mode:?}] vscc avg {}us, rw-check avg {}us, append avg {}us, total avg {}us",
+                stats.vscc.avg().as_micros(),
+                stats.rw_check.avg().as_micros(),
+                stats.ledger.avg().as_micros(),
+                stats.total.avg().as_micros(),
+            );
+        }
+        drop(peer);
+        let _ = std::fs::remove_dir_all(&dir);
+        (tps, stats.queues.dependency_stalls, stats.queues.spec_hits)
+    };
+    let modes = [
+        ("block-level", DependencyMode::BlockLevel),
+        ("key-level", DependencyMode::KeyLevel),
+    ];
+    let mut best = [(0.0f64, 0usize, 0usize); 2];
+    for _ in 0..reps {
+        for (i, &(_, mode)) in modes.iter().enumerate() {
+            let run = run_mode(mode);
+            if run.0 > best[i].0 {
+                best[i] = run;
+            }
+        }
+    }
+    let mut mode_table = Table::new(&["dependency mode", "tps", "dep stalls", "spec hits"]);
+    for (i, (label, _)) in modes.iter().enumerate() {
+        let (tps, stalls, spec_hits) = best[i];
+        mode_table.row(vec![
+            (*label).into(),
+            format!("{tps:.0}"),
+            format!("{stalls}"),
+            format!("{spec_hits}"),
+        ]);
+    }
+    let tps_by_mode = [best[0].0, best[1].0];
+    println!(
+        "\n-- dependency stalls on {fine_blocks} blocks x {fine_per_block} \
+         key-disjoint spends --"
+    );
+    mode_table.print();
+    if !smoke {
+        assert!(
+            tps_by_mode[1] > tps_by_mode[0],
+            "key-level stalls must beat block-level on key-disjoint spends \
+             ({:.0} vs {:.0} tps)",
+            tps_by_mode[1],
+            tps_by_mode[0]
+        );
+    }
+    println!(
+        "\nexpected shape: channel B within 10% of alone despite the barrier \
+         channel; key-level tps above block-level (disjoint coins never stall)."
+    );
+}

@@ -8,16 +8,18 @@
 
 pub mod committer;
 pub mod endorser;
+pub mod intake;
 pub mod peer;
 pub mod pipeline;
 pub mod view;
 
 pub use committer::{Committer, ValidationTiming};
 pub use endorser::Endorser;
+pub use intake::DeliverMux;
 pub use peer::{Peer, PeerConfig};
 pub use pipeline::{
-    CommitEvent, PipelineHandle, PipelineOptions, PipelineStats, QueueGauges, StageHistogram,
-    StageSummary,
+    CommitEvent, DependencyMode, PipelineHandle, PipelineManager, PipelineOptions, PipelineStats,
+    QueueGauges, StageHistogram, StageSummary,
 };
 pub use view::ChannelView;
 

@@ -239,6 +239,17 @@ impl Peer {
         self.committer.pipeline(self.ledger.clone(), opts)
     }
 
+    /// Starts a pipelined committer attached to a shared VSCC worker
+    /// pool, so several channels' pipelines can run on one peer without
+    /// a stalled channel idling the validation cores.
+    pub fn pipeline_shared(
+        &self,
+        pool: &crate::pipeline::PipelineManager,
+        opts: PipelineOptions,
+    ) -> PipelineHandle {
+        self.committer.pipeline_in(pool, self.ledger.clone(), opts)
+    }
+
     /// Current ledger height.
     pub fn height(&self) -> u64 {
         self.ledger.height()

@@ -1,57 +1,84 @@
 //! Cross-block pipelined committer (paper Sec. 5.2's "validation
-//! pipelining" direction).
+//! pipelining" direction), generalised to many channels.
 //!
 //! The sequential committer processes one block at a time: VSCC →
 //! rw-check → ledger append, then the next block. Since VSCC is by far the
 //! dominant stage (endorsement-policy ECDSA verification) and the other
 //! two are strictly sequential, the peer's cores idle during every
-//! rw-check and ledger write. This module overlaps blocks across stages:
+//! rw-check and ledger write. This module overlaps blocks across stages
+//! *and* channels — channels are the paper's unit of parallelism
+//! (Sec. 3.1), so one peer may run a pipeline per channel, all feeding a
+//! single shared worker pool:
 //!
 //! ```text
-//!            ┌──────────┐   tasks    ┌───────────────┐  completed  ┌───────────┐
-//!  submit ──▶│ admitter │──────────▶│ VSCC worker    │────────────▶│ sequencer │──▶ events
-//!   (blocks) │ (order,  │  (chunks)  │ pool           │ (any order) │ (reorder, │
-//!            │  deps)   │            │ (persistent)   │             │  rw-check,│
-//!            └──────────┘            └───────────────┘             │  commit)  │
-//!                 ▲                                                 └─────┬─────┘
-//!                 └──────────────── committed watermark ◀────────────────┘
+//!  channel A ──▶ admitter A ──┐  tasks   ┌───────────────┐   ┌─▶ sequencer A ─▶ events
+//!                              ├────────▶│ shared VSCC    │───┤
+//!  channel B ──▶ admitter B ──┘ (chunks) │ worker pool    │   └─▶ sequencer B ─▶ events
+//!                                        └───────────────┘
 //! ```
 //!
-//! * The **admitter** accepts delivered blocks in strict order, verifies
-//!   block integrity, and decides when block *n+1*'s VSCC may start while
-//!   block *n* is still in rw-check/append (see the ordering invariants
-//!   below). It splits each admitted block into chunk tasks for the pool.
-//! * The **VSCC worker pool** is persistent — no per-block thread
-//!   spawning — and serves chunks from *any* admitted block, so one
-//!   block's tail does not idle the pool while the next block waits.
-//! * The **sequencer** restores strict block order with a reorder buffer
-//!   and runs the stages that must stay sequential: MVCC rw-check,
-//!   metadata flags, ledger append (savepoint), and config view updates.
+//! * Each channel's **admitter** accepts delivered blocks in strict
+//!   order, verifies block integrity, and decides when block *n+1*'s VSCC
+//!   may start while block *n* is still in rw-check/append (see the
+//!   ordering invariants below). It splits each admitted block into chunk
+//!   tasks for the pool.
+//! * The **VSCC worker pool** ([`PipelineManager`]) is persistent and
+//!   global: workers pull chunks from *any* admitted block of *any*
+//!   attached channel, so a slow or barrier-stalled channel never idles
+//!   the cores serving the others.
+//! * Each channel's **sequencer** restores strict block order with a
+//!   reorder buffer and runs the stages that must stay sequential: MVCC
+//!   rw-check, metadata flags, ledger append (savepoint), and config view
+//!   updates. While a block waits for its turn it may be **speculatively
+//!   rw-checked** (see below).
 //!
 //! # Ordering invariants
 //!
 //! Commit order, MVCC version semantics, and savepoint recovery are
-//! byte-identical to the sequential path because:
+//! byte-identical to the sequential path because, per channel:
 //!
 //! 1. Blocks commit strictly in block-number order (reorder buffer), and
-//!    the rw-check for block *n* runs only after block *n−1*'s ledger
-//!    append — MVCC sees exactly the state the sequential path would.
+//!    the rw-check for block *n* runs — or is speculatively pre-run and
+//!    then proven unaffected — against exactly the state the sequential
+//!    path would see.
 //! 2. VSCC for block *n* may overlap earlier blocks only when its reads
 //!    cannot observe their effects:
 //!    * **Config blocks** and blocks writing the LSCC namespace are full
 //!      barriers (the default VSCC reads chaincode definitions from LSCC,
 //!      and config commits swap the channel view).
 //!    * For chaincodes with a **custom VSCC** (which may read committed
-//!      state, e.g. Fabcoin's input coins), the block stalls while any
-//!      in-flight earlier block writes a key in its declared read set or
-//!      inside one of its range queries. Custom VSCCs must only read keys
-//!      declared in the transaction's rw-set — Fabcoin complies (spent
-//!      coins appear as read-and-deleted keys).
+//!      state, e.g. Fabcoin's input coins), the admitter consults the
+//!      channel's *conflict index* — a multiset of every key an in-flight
+//!      block still intends to write. Under the default
+//!      [`DependencyMode::KeyLevel`], the block stalls only while a key
+//!      in its declared read set (or inside one of its range queries) is
+//!      in-flight, and it is released as soon as the conflicting *keys*
+//!      retire — when their transaction turns VSCC-invalid, or when its
+//!      writes land in the ledger append — rather than waiting for the
+//!      whole predecessor block. [`DependencyMode::BlockLevel`] keeps the
+//!      conservative rule (any state-reading block waits for every
+//!      in-flight block) for comparison benchmarks. Custom VSCCs must
+//!      only read keys declared in the transaction's rw-set — Fabcoin
+//!      complies (spent coins appear as read-and-deleted keys).
 //! 3. The savepoint advances only inside the ordered ledger append, so a
 //!    crash with blocks still queued in the pipeline recovers exactly as
 //!    if those blocks had never been delivered.
+//!
+//! # Speculative rw-checks
+//!
+//! A block parked in the reorder buffer (its VSCC done, an earlier block
+//! still committing) would normally run its MVCC rw-check only at its
+//! turn, on the sequencer's critical path. Instead the sequencer pre-runs
+//! the rw-check while the block waits, recording the read/range/tx-id
+//! footprint the speculation depended on. At the block's turn the
+//! speculation is reused **only if** no intervening commit wrote a key in
+//! that footprint (or committed a colliding tx-id); otherwise the
+//! rw-check reruns from scratch. Reused speculations are exact: the
+//! rw-check is a deterministic function of the block, its VSCC flags, and
+//! the versions/range-contents/tx-id set of the keys it touches — all
+//! proven unchanged.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,18 +90,32 @@ use parking_lot::{Condvar, Mutex};
 use fabric_chaincode::LSCC_NAMESPACE;
 use fabric_ledger::Ledger;
 use fabric_primitives::block::Block;
-use fabric_primitives::ids::TxValidationCode;
+use fabric_primitives::ids::{TxId, TxValidationCode};
 use fabric_primitives::transaction::EnvelopeContent;
 
 use crate::committer::{Committer, ValidationTiming};
 use crate::view::ChannelView;
 use crate::PeerError;
 
+/// How the admitter stalls custom-VSCC state readers on in-flight writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DependencyMode {
+    /// Conservative: a block whose custom VSCC reads state waits for
+    /// *every* in-flight block, regardless of key overlap.
+    BlockLevel,
+    /// Key-level conflict index: the block waits only while a key it
+    /// reads (or a key inside one of its range queries) is still
+    /// in-flight, and resumes as soon as those keys retire.
+    #[default]
+    KeyLevel,
+}
+
 /// Pipeline construction knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineOptions {
     /// VSCC worker-pool width; `0` uses the committer's configured
-    /// parallelism (the Fig. 7 knob).
+    /// parallelism (the Fig. 7 knob). Ignored by
+    /// [`Committer::pipeline_in`], where the shared pool fixes the width.
     pub vscc_workers: usize,
     /// Bounded capacity of the intake queue — backpressure for the
     /// deliver/gossip side when validation falls behind.
@@ -86,6 +127,10 @@ pub struct PipelineOptions {
     /// the pool near a block's tail). Until the first cost sample lands,
     /// blocks are split evenly across the workers.
     pub vscc_chunk_target: Duration,
+    /// Stall rule for custom-VSCC state readers.
+    pub dependency_mode: DependencyMode,
+    /// Pre-run rw-checks for blocks parked in the reorder buffer.
+    pub speculative_rw_check: bool,
 }
 
 impl Default for PipelineOptions {
@@ -94,6 +139,8 @@ impl Default for PipelineOptions {
             vscc_workers: 0,
             intake_capacity: 64,
             vscc_chunk_target: Duration::from_micros(500),
+            dependency_mode: DependencyMode::KeyLevel,
+            speculative_rw_check: true,
         }
     }
 }
@@ -111,32 +158,80 @@ pub struct CommitEvent {
     pub committed_at: Instant,
 }
 
+/// Reservoir size bounding a [`StageHistogram`]'s memory; count, mean,
+/// and max stay exact, percentiles are estimated over the reservoir.
+const HISTOGRAM_RESERVOIR: usize = 4096;
+
 /// Latency samples for one pipeline stage (Table 1 columns).
-#[derive(Clone, Debug, Default)]
+///
+/// Memory-bounded: exact count/mean/max plus a fixed-size uniform sample
+/// (Vitter's algorithm R) for the percentile estimates, so a long-running
+/// peer does not grow a sample per block per stage forever.
+#[derive(Clone, Debug)]
 pub struct StageHistogram {
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
     samples_us: Vec<u64>,
+    rng: u64,
+}
+
+impl Default for StageHistogram {
+    fn default() -> Self {
+        StageHistogram {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            samples_us: Vec::new(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
 }
 
 impl StageHistogram {
     fn record(&mut self, d: Duration) {
-        self.samples_us.push(d.as_micros() as u64);
+        let us = d.as_micros() as u64;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+        if self.samples_us.len() < HISTOGRAM_RESERVOIR {
+            self.samples_us.push(us);
+        } else {
+            // Algorithm R keeps each of the `count` samples in the
+            // reservoir with equal probability `RESERVOIR / count`.
+            let slot = self.next_rand() % self.count;
+            if (slot as usize) < HISTOGRAM_RESERVOIR {
+                self.samples_us[slot as usize] = us;
+            }
+        }
     }
 
-    /// Number of recorded samples.
+    /// Deterministic xorshift64* — statistics must not perturb test
+    /// reproducibility with OS entropy.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Number of recorded samples (exact, not the reservoir size).
     pub fn count(&self) -> usize {
-        self.samples_us.len()
+        self.count as usize
     }
 
-    /// Mean latency.
+    /// Mean latency (exact over all recorded samples).
     pub fn avg(&self) -> Duration {
-        if self.samples_us.is_empty() {
+        if self.count == 0 {
             return Duration::ZERO;
         }
-        let sum: u64 = self.samples_us.iter().sum();
-        Duration::from_micros(sum / self.samples_us.len() as u64)
+        Duration::from_micros(self.sum_us / self.count)
     }
 
-    /// Latency at percentile `p` (0.0–100.0), nearest-rank.
+    /// Latency at percentile `p` (0.0–100.0), nearest-rank over the
+    /// retained reservoir.
     pub fn percentile(&self, p: f64) -> Duration {
         if self.samples_us.is_empty() {
             return Duration::ZERO;
@@ -154,7 +249,7 @@ impl StageHistogram {
             avg: self.avg(),
             p99: self.percentile(99.0),
             p999: self.percentile(99.9),
-            max: Duration::from_micros(self.samples_us.iter().copied().max().unwrap_or(0)),
+            max: Duration::from_micros(self.max_us),
         }
     }
 }
@@ -189,6 +284,10 @@ pub struct QueueGauges {
     pub chunk_min: usize,
     /// Largest adaptive VSCC chunk dispatched.
     pub chunk_max: usize,
+    /// Speculative rw-checks reused at commit time.
+    pub spec_hits: usize,
+    /// Speculative rw-checks invalidated by an intervening commit.
+    pub spec_misses: usize,
 }
 
 /// Aggregate statistics for one pipeline run.
@@ -212,7 +311,45 @@ pub struct PipelineStats {
     pub vscc_cost_ewma: Duration,
 }
 
-/// State shared by the pipeline threads and the handle.
+/// Floor for the per-tx VSCC cost EWMA. Sub-microsecond VSCCs (trivial
+/// policies, warm caches) would otherwise round the α = 1/8 increment
+/// `sample / 8` to zero and pin the EWMA near one nanosecond, collapsing
+/// every chunk to the even-split floor regardless of the chunk target.
+const MIN_VSCC_COST_NS: u64 = 50;
+
+/// EWMA (α = 1/8) of per-transaction VSCC cost in nanoseconds, clamped
+/// to [`MIN_VSCC_COST_NS`]. `0` means no sample yet. Updated by the pool
+/// workers, read by the admitters' chunk sizers; racy read-modify-write
+/// is fine for a smoothed statistic.
+#[derive(Default)]
+struct CostEwma(AtomicU64);
+
+impl CostEwma {
+    fn observe(&self, per_tx: Duration) {
+        let sample = (per_tx.as_nanos() as u64).max(MIN_VSCC_COST_NS);
+        let old = self.0.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+        self.0.store(new.max(MIN_VSCC_COST_NS), Ordering::Relaxed);
+    }
+
+    fn nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The channel's in-flight write footprint, as the admitter's stall rules
+/// see it: every key some dispatched-but-unretired transaction intends to
+/// write, as a multiset (several in-flight txs may write one key).
+#[derive(Default)]
+struct ConflictState {
+    keys: HashMap<(String, String), u32>,
+    /// Dispatched blocks not yet fully committed.
+    inflight_blocks: usize,
+    /// In-flight blocks that are full barriers (config / LSCC writers).
+    barriers: usize,
+}
+
+/// State shared by one channel's pipeline threads and its handle.
 struct Shared {
     committer: Committer,
     ledger: Arc<Ledger>,
@@ -223,10 +360,12 @@ struct Shared {
     stopped: AtomicBool,
     error: Mutex<Option<PeerError>>,
     stats: Mutex<PipelineStats>,
-    /// EWMA of per-transaction VSCC cost in nanoseconds (0 = no sample
-    /// yet). Updated by the pool workers, read by the admitter's chunk
-    /// sizer; racy read-modify-write is fine for a smoothed statistic.
-    vscc_cost_ns: AtomicU64,
+    vscc_cost: CostEwma,
+    /// Conflict index of in-flight written keys (key-level stalls).
+    conflicts: Mutex<ConflictState>,
+    conflicts_cv: Condvar,
+    dependency_mode: DependencyMode,
+    speculative: bool,
 }
 
 impl Shared {
@@ -247,8 +386,14 @@ impl Shared {
 
     fn halt(&self) {
         self.stopped.store(true, Ordering::SeqCst);
-        let _height = self.watermark.lock();
+        {
+            let _height = self.watermark.lock();
+        }
         self.watermark_cv.notify_all();
+        {
+            let _conflicts = self.conflicts.lock();
+        }
+        self.conflicts_cv.notify_all();
     }
 
     fn advance(&self, height: u64) {
@@ -256,26 +401,72 @@ impl Shared {
         self.watermark_cv.notify_all();
     }
 
-    /// Folds one per-tx VSCC cost sample into the EWMA (α = 1/8).
-    fn observe_vscc_cost(&self, per_tx: Duration) {
-        let sample = per_tx.as_nanos() as u64;
-        let old = self.vscc_cost_ns.load(Ordering::Relaxed);
-        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
-        self.vscc_cost_ns.store(new.max(1), Ordering::Relaxed);
+    /// Enters a dispatched block into the conflict index.
+    fn register_block(&self, barrier: bool, tx_writes: &[Vec<(String, String)>]) {
+        let mut conflicts = self.conflicts.lock();
+        conflicts.inflight_blocks += 1;
+        if barrier {
+            conflicts.barriers += 1;
+        }
+        for key in tx_writes.iter().flatten() {
+            *conflicts.keys.entry(key.clone()).or_insert(0) += 1;
+        }
+    }
+
+    /// Retires in-flight written keys (a tx turned VSCC-invalid, or its
+    /// writes landed in the ledger) and wakes key-stalled admitters.
+    fn release_keys(&self, keys: &[(String, String)]) {
+        if keys.is_empty() {
+            return;
+        }
+        {
+            let mut conflicts = self.conflicts.lock();
+            for key in keys {
+                if let Some(count) = conflicts.keys.get_mut(key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        conflicts.keys.remove(key);
+                    }
+                }
+            }
+        }
+        self.conflicts_cv.notify_all();
+    }
+
+    /// Retires a fully committed block from the conflict index.
+    fn finish_block(&self, barrier: bool) {
+        {
+            let mut conflicts = self.conflicts.lock();
+            conflicts.inflight_blocks -= 1;
+            if barrier {
+                conflicts.barriers -= 1;
+            }
+        }
+        self.conflicts_cv.notify_all();
     }
 
     /// Clones the stats and stamps the live EWMA into the snapshot.
     fn stats_snapshot(&self) -> PipelineStats {
         let mut stats = self.stats.lock().clone();
-        stats.vscc_cost_ewma = Duration::from_nanos(self.vscc_cost_ns.load(Ordering::Relaxed));
+        stats.vscc_cost_ewma = Duration::from_nanos(self.vscc_cost.nanos());
         stats
     }
 }
 
-/// Per-block VSCC work unit shared by the pool's chunk tasks.
+/// Per-block VSCC work unit shared by the pool's chunk tasks. Carries its
+/// channel context (`shared`, `done`) so pool workers can serve any
+/// attached channel.
 struct VsccJob {
+    shared: Arc<Shared>,
+    done: Sender<CompletedVscc>,
     block: Arc<Block>,
     flags: Mutex<Vec<TxValidationCode>>,
+    /// Per-envelope `(namespace, key)` write sets, indexed like
+    /// `block.envelopes` (empty for non-transaction envelopes) — the
+    /// conflict-index entries this block is responsible for retiring.
+    tx_writes: Vec<Vec<(String, String)>>,
+    /// Whether this block was registered as a barrier.
+    barrier: bool,
     /// Chunk tasks not yet finished; the last finisher forwards the job.
     remaining: AtomicUsize,
     dispatched: Instant,
@@ -294,20 +485,12 @@ struct CompletedVscc {
     vscc: Duration,
 }
 
-/// What the admitter must know about a dispatched-but-uncommitted block.
-struct InflightBlock {
-    number: u64,
-    /// `(namespace, key)` pairs written (or deleted) by any transaction.
-    writes: HashSet<(String, String)>,
-    /// Config block or LSCC writer: bars all later VSCC until committed.
-    barrier: bool,
-}
-
 /// Read/write footprint of a block, as the admitter's stall rules see it.
 struct BlockProfile {
     /// This block must not overlap anything (config / LSCC writer).
     barrier: bool,
-    writes: HashSet<(String, String)>,
+    /// Per-envelope write sets (see [`VsccJob::tx_writes`]).
+    tx_writes: Vec<Vec<(String, String)>>,
     /// Keys read by transactions validated by a state-reading custom VSCC.
     custom_reads: HashSet<(String, String)>,
     /// `(namespace, start, end)` ranges read by custom-VSCC transactions.
@@ -318,24 +501,24 @@ impl BlockProfile {
     fn analyze(block: &Block, committer: &Committer) -> Self {
         let mut profile = BlockProfile {
             barrier: block.is_config_block(),
-            writes: HashSet::new(),
+            tx_writes: Vec::with_capacity(block.envelopes.len()),
             custom_reads: HashSet::new(),
             custom_ranges: Vec::new(),
         };
         for envelope in &block.envelopes {
             let EnvelopeContent::Transaction(tx) = &envelope.content else {
                 profile.barrier = true;
+                profile.tx_writes.push(Vec::new());
                 continue;
             };
             let custom = committer.has_custom_vscc(&tx.response_payload.chaincode.name);
+            let mut writes = Vec::new();
             for ns in &tx.response_payload.rwset.ns_rwsets {
                 if ns.namespace == LSCC_NAMESPACE && !ns.writes.is_empty() {
                     profile.barrier = true;
                 }
                 for write in &ns.writes {
-                    profile
-                        .writes
-                        .insert((ns.namespace.clone(), write.key.clone()));
+                    writes.push((ns.namespace.clone(), write.key.clone()));
                 }
                 if custom {
                     for read in &ns.reads {
@@ -352,28 +535,97 @@ impl BlockProfile {
                     }
                 }
             }
+            profile.tx_writes.push(writes);
         }
         profile
     }
 
-    /// Would this block's custom-VSCC reads observe `writes`?
-    fn reads_intersect(&self, writes: &HashSet<(String, String)>) -> bool {
-        if self.custom_reads.iter().any(|key| writes.contains(key)) {
+    /// Does this block's custom VSCC read committed state at all?
+    fn reads_state(&self) -> bool {
+        !self.custom_reads.is_empty() || !self.custom_ranges.is_empty()
+    }
+
+    /// Would this block's custom-VSCC reads observe any in-flight key?
+    fn conflicts_with(&self, inflight: &HashMap<(String, String), u32>) -> bool {
+        if self.custom_reads.iter().any(|key| inflight.contains_key(key)) {
             return true;
         }
         if self.custom_ranges.is_empty() {
             return false;
         }
-        writes.iter().any(|(ns, key)| {
+        inflight.keys().any(|(ns, key)| {
             self.custom_ranges.iter().any(|(qns, start, end)| {
-                qns == ns && key.as_str() >= start.as_str() && (end.is_empty() || key.as_str() < end.as_str())
+                qns == ns
+                    && key.as_str() >= start.as_str()
+                    && (end.is_empty() || key.as_str() < end.as_str())
             })
         })
     }
 }
 
+/// The global persistent VSCC worker pool, shared by every channel
+/// pipeline attached through [`Committer::pipeline_in`].
+///
+/// Close (or drop) the manager only after closing every attached
+/// [`PipelineHandle`]: the workers exit when all attached admitters have
+/// released their task senders, so closing the pool first would block on
+/// a still-running channel.
+pub struct PipelineManager {
+    task_tx: Option<Sender<VsccTask>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PipelineManager {
+    /// Spawns a pool of `vscc_workers` persistent workers (at least one).
+    pub fn new(vscc_workers: usize) -> Self {
+        let width = vscc_workers.max(1);
+        let (task_tx, task_rx) = unbounded::<VsccTask>();
+        let workers = (0..width)
+            .map(|i| {
+                let task_rx = task_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vscc-worker-{i}"))
+                    .spawn(move || vscc_worker(&task_rx))
+                    .expect("spawn vscc worker")
+            })
+            .collect();
+        PipelineManager {
+            task_tx: Some(task_tx),
+            workers,
+        }
+    }
+
+    /// Pool width (the even-split chunk floor for attached channels).
+    pub fn width(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn sender(&self) -> Sender<VsccTask> {
+        self.task_tx.as_ref().expect("pool open").clone()
+    }
+
+    /// Shuts the pool down, joining the workers.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        drop(self.task_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PipelineManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 impl Committer {
-    /// Starts a cross-block pipelined committer over `ledger`.
+    /// Starts a cross-block pipelined committer over `ledger` with a
+    /// private worker pool.
     ///
     /// The returned handle accepts a stream of delivered blocks
     /// ([`PipelineHandle::submit`], strictly in block order) and emits one
@@ -384,8 +636,26 @@ impl Committer {
             self.vscc_parallelism()
         } else {
             opts.vscc_workers
-        }
-        .max(1);
+        };
+        let pool = PipelineManager::new(workers);
+        let mut handle = self.pipeline_in(&pool, ledger, opts);
+        handle.pool = Some(pool);
+        handle
+    }
+
+    /// Starts a channel pipeline attached to a shared worker pool: only
+    /// the admitter and sequencer threads are spawned here, VSCC chunks
+    /// go to `pool`. Many channels may attach to one pool; a barrier- or
+    /// dependency-stalled channel never idles the pool for the others.
+    ///
+    /// `opts.vscc_workers` is ignored — the pool fixes the width.
+    pub fn pipeline_in(
+        &self,
+        pool: &PipelineManager,
+        ledger: Arc<Ledger>,
+        opts: PipelineOptions,
+    ) -> PipelineHandle {
+        let workers = pool.width();
         let start_height = ledger.height();
         let shared = Arc::new(Shared {
             committer: self.clone(),
@@ -395,26 +665,19 @@ impl Committer {
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
             stats: Mutex::new(PipelineStats::default()),
-            vscc_cost_ns: AtomicU64::new(0),
+            vscc_cost: CostEwma::default(),
+            conflicts: Mutex::new(ConflictState::default()),
+            conflicts_cv: Condvar::new(),
+            dependency_mode: opts.dependency_mode,
+            speculative: opts.speculative_rw_check,
         });
 
         let (intake_tx, intake_rx) = bounded::<Block>(opts.intake_capacity.max(1));
-        let (task_tx, task_rx) = unbounded::<VsccTask>();
+        let task_tx = pool.sender();
         let (done_tx, done_rx) = unbounded::<CompletedVscc>();
         let (event_tx, event_rx) = unbounded::<CommitEvent>();
 
-        let mut threads = Vec::with_capacity(workers + 2);
-        for i in 0..workers {
-            let shared = shared.clone();
-            let task_rx = task_rx.clone();
-            let done_tx = done_tx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("vscc-worker-{i}"))
-                    .spawn(move || vscc_worker(&shared, &task_rx, &done_tx))
-                    .expect("spawn vscc worker"),
-            );
-        }
+        let mut threads = Vec::with_capacity(2);
         {
             let shared = shared.clone();
             threads.push(
@@ -449,35 +712,54 @@ impl Committer {
             intake: Some(intake_tx),
             events: event_rx,
             threads,
+            pool: None,
         }
     }
 }
 
-/// Pool worker: validate chunks from any admitted block.
-fn vscc_worker(shared: &Shared, tasks: &Receiver<VsccTask>, done: &Sender<CompletedVscc>) {
+/// Pool worker: validate chunks from any admitted block of any channel.
+fn vscc_worker(tasks: &Receiver<VsccTask>) {
     while let Ok(task) = tasks.recv() {
-        let envelopes = &task.job.block.envelopes[task.start..task.start + task.len];
-        let mut local = Vec::with_capacity(task.len);
-        let started = Instant::now();
-        for envelope in envelopes {
-            local.push(shared.committer.validate_envelope(&shared.ledger, envelope));
+        let job = &task.job;
+        let shared = &job.shared;
+        if !shared.is_stopped() && task.len > 0 {
+            let envelopes = &job.block.envelopes[task.start..task.start + task.len];
+            let mut local = Vec::with_capacity(task.len);
+            let started = Instant::now();
+            for envelope in envelopes {
+                local.push(shared.committer.validate_envelope(&shared.ledger, envelope));
+            }
+            shared.vscc_cost.observe(started.elapsed() / task.len as u32);
+            job.flags.lock()[task.start..task.start + task.len].copy_from_slice(&local);
         }
-        if task.len > 0 {
-            shared.observe_vscc_cost(started.elapsed() / task.len as u32);
-        }
-        task.job.flags.lock()[task.start..task.start + task.len].copy_from_slice(&local);
-        // The last chunk to finish forwards the block to the sequencer.
-        if task.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let vscc = task.job.dispatched.elapsed();
-            let _ = done.send(CompletedVscc { job: task.job, vscc });
+        // The last chunk to finish retires invalid txs' in-flight keys —
+        // their writes will never land, so key-stalled readers may go —
+        // and forwards the block to its channel's sequencer.
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if !shared.is_stopped() {
+                let freed: Vec<(String, String)> = {
+                    let flags = job.flags.lock();
+                    flags
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, flag)| **flag != TxValidationCode::Valid)
+                        .flat_map(|(i, _)| job.tx_writes[i].iter().cloned())
+                        .collect()
+                };
+                shared.release_keys(&freed);
+            }
+            let vscc = job.dispatched.elapsed();
+            let _ = job.done.send(CompletedVscc {
+                job: task.job.clone(),
+                vscc,
+            });
         }
     }
 }
 
 /// Admission thread: order check, dependency stalls, chunk dispatch.
-#[allow(clippy::too_many_arguments)]
 fn admitter(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     intake: &Receiver<Block>,
     tasks: &Sender<VsccTask>,
     done: &Sender<CompletedVscc>,
@@ -485,7 +767,6 @@ fn admitter(
     chunk_target: Duration,
     mut next_expected: u64,
 ) {
-    let mut inflight: VecDeque<InflightBlock> = VecDeque::new();
     'accept: while let Ok(block) = intake.recv() {
         if shared.is_stopped() {
             return;
@@ -501,28 +782,32 @@ fn admitter(
 
         let profile = BlockProfile::analyze(&block, &shared.committer);
 
-        // Stall until no in-flight (dispatched, uncommitted) block can be
-        // observed by this block's VSCC reads.
+        // Stall until no in-flight (dispatched, unretired) write can be
+        // observed by this block's VSCC reads. Key-level mode consults
+        // the conflict index and resumes as soon as the conflicting keys
+        // retire; block-level mode waits out every in-flight block.
         {
             let mut stalled = false;
-            let mut height = shared.watermark.lock();
+            let mut conflicts = shared.conflicts.lock();
             loop {
                 if shared.is_stopped() {
                     return;
                 }
-                while inflight.front().is_some_and(|w| w.number < *height) {
-                    inflight.pop_front();
-                }
-                let conflict = inflight.iter().any(|w| w.barrier)
-                    || (profile.barrier && !inflight.is_empty())
-                    || inflight.iter().any(|w| profile.reads_intersect(&w.writes));
+                let conflict = conflicts.barriers > 0
+                    || (profile.barrier && conflicts.inflight_blocks > 0)
+                    || match shared.dependency_mode {
+                        DependencyMode::BlockLevel => {
+                            profile.reads_state() && conflicts.inflight_blocks > 0
+                        }
+                        DependencyMode::KeyLevel => profile.conflicts_with(&conflicts.keys),
+                    };
                 if !conflict {
                     break;
                 }
                 stalled = true;
-                height = shared
-                    .watermark_cv
-                    .wait(height)
+                conflicts = shared
+                    .conflicts_cv
+                    .wait(conflicts)
                     .unwrap_or_else(|poison| poison.into_inner());
             }
             if stalled {
@@ -545,24 +830,23 @@ fn admitter(
             1
         } else {
             let even = n.div_ceil(workers.min(n));
-            let ewma_ns = shared.vscc_cost_ns.load(Ordering::Relaxed);
-            if ewma_ns == 0 {
-                even
-            } else {
-                ((chunk_target.as_nanos() as u64 / ewma_ns).max(1) as usize).min(even)
+            // checked_div: a zero EWMA means no cost sample yet.
+            match (chunk_target.as_nanos() as u64).checked_div(shared.vscc_cost.nanos()) {
+                None => even,
+                Some(per_chunk) => (per_chunk.max(1) as usize).min(even),
             }
         };
         let n_tasks = if n == 0 { 1 } else { n.div_ceil(chunk) };
+        shared.register_block(profile.barrier, &profile.tx_writes);
         let job = Arc::new(VsccJob {
+            shared: shared.clone(),
+            done: done.clone(),
             block: Arc::new(block),
             flags: Mutex::new(vec![TxValidationCode::NotValidated; n]),
+            tx_writes: profile.tx_writes,
+            barrier: profile.barrier,
             remaining: AtomicUsize::new(n_tasks),
             dispatched: Instant::now(),
-        });
-        inflight.push_back(InflightBlock {
-            number: job.block.header.number,
-            writes: profile.writes,
-            barrier: profile.barrier,
         });
         if n == 0 {
             if done
@@ -599,31 +883,85 @@ fn admitter(
             stats.queues.chunk_max = stats.queues.chunk_max.max(chunk);
         }
     }
-    // Dropping the task/done senders lets the workers and sequencer drain
-    // what was dispatched and then exit.
+    // Dropping this channel's task/done senders lets the pool and the
+    // sequencer drain what was dispatched; the pool itself stays up for
+    // the other channels.
+}
+
+/// A speculative rw-check computed while the block waited in the reorder
+/// buffer, with the footprint it depended on.
+struct Speculation {
+    flags: Vec<TxValidationCode>,
+    /// `next_commit` when the speculation ran: commits of blocks
+    /// `>= height` happened after it and must be checked for overlap.
+    height: u64,
+    reads: HashSet<(String, String)>,
+    ranges: Vec<(String, String, String)>,
+    tx_ids: HashSet<TxId>,
+}
+
+/// What an already-committed block may invalidate speculations with.
+struct RecentCommit {
+    /// Keys written by finally-valid transactions.
+    writes: HashSet<(String, String)>,
+    /// Every tx-id the block carried (conservative: validity-independent).
+    tx_ids: HashSet<TxId>,
+}
+
+/// A VSCC-complete block parked in the reorder buffer.
+struct Pending {
+    completed: CompletedVscc,
+    spec: Option<Speculation>,
 }
 
 /// Sequencer: restore block order, run rw-check + ledger append, emit.
+/// Blocks parked in the reorder buffer are speculatively rw-checked.
 fn sequencer(
     shared: &Shared,
     done: &Receiver<CompletedVscc>,
     events: &Sender<CommitEvent>,
     mut next_commit: u64,
 ) {
-    let mut reorder: BTreeMap<u64, CompletedVscc> = BTreeMap::new();
+    let mut reorder: BTreeMap<u64, Pending> = BTreeMap::new();
+    // Footprint of blocks committed while later blocks sat in the
+    // reorder buffer — what decides whether their speculations survive.
+    let mut recent: BTreeMap<u64, RecentCommit> = BTreeMap::new();
     while let Ok(completed) = done.recv() {
         if shared.is_stopped() {
             return;
         }
-        reorder.insert(completed.job.block.header.number, completed);
+        reorder.insert(
+            completed.job.block.header.number,
+            Pending {
+                completed,
+                spec: None,
+            },
+        );
         {
             let mut stats = shared.stats.lock();
             stats.queues.reorder_peak = stats.queues.reorder_peak.max(reorder.len());
         }
-        while let Some(ready) = reorder.remove(&next_commit) {
-            match commit_in_order(shared, &ready) {
+        while let Some(pending) = reorder.remove(&next_commit) {
+            let spec_flags = match pending.spec {
+                Some(spec) if speculation_intact(&spec, &recent) => {
+                    shared.stats.lock().queues.spec_hits += 1;
+                    Some(spec.flags)
+                }
+                Some(_) => {
+                    shared.stats.lock().queues.spec_misses += 1;
+                    None
+                }
+                None => None,
+            };
+            match commit_in_order(shared, &pending.completed, spec_flags) {
                 Ok(event) => {
                     next_commit += 1;
+                    if shared.speculative && !reorder.is_empty() {
+                        recent.insert(
+                            event.block_num,
+                            recent_commit_of(&pending.completed.job.block, &event.validity),
+                        );
+                    }
                     // Queue the event before advancing the watermark, so a
                     // thread woken by `wait_committed` always finds the
                     // events of every committed block already buffered.
@@ -636,23 +974,125 @@ fn sequencer(
                 }
             }
         }
+        if reorder.is_empty() {
+            // Every speculation that could have consulted these commits
+            // is resolved; start a fresh window.
+            recent.clear();
+        } else if shared.speculative {
+            for pending in reorder.values_mut() {
+                if pending.spec.is_none() && !pending.completed.job.barrier {
+                    pending.spec = speculate(shared, &pending.completed, next_commit);
+                }
+            }
+        }
     }
 }
 
-/// The strictly sequential tail of validation for one block.
-fn commit_in_order(shared: &Shared, completed: &CompletedVscc) -> Result<CommitEvent, PeerError> {
+/// Pre-runs the rw-check for a parked block against the current ledger,
+/// recording the footprint the result depends on.
+fn speculate(shared: &Shared, completed: &CompletedVscc, height: u64) -> Option<Speculation> {
     let block = &completed.job.block;
-    let mut flags = std::mem::take(&mut *completed.job.flags.lock());
+    let mut flags = completed.job.flags.lock().clone();
+    // The footprint only needs VSCC-valid transactions: the rw-check
+    // skips the rest, so their reads cannot influence the outcome.
+    let mut reads = HashSet::new();
+    let mut ranges = Vec::new();
+    let mut tx_ids = HashSet::new();
+    for (envelope, flag) in block.envelopes.iter().zip(&flags) {
+        if *flag != TxValidationCode::Valid {
+            continue;
+        }
+        let EnvelopeContent::Transaction(tx) = &envelope.content else {
+            continue;
+        };
+        tx_ids.insert(tx.tx_id());
+        for ns in &tx.response_payload.rwset.ns_rwsets {
+            for read in &ns.reads {
+                reads.insert((ns.namespace.clone(), read.key.clone()));
+            }
+            for query in &ns.range_queries {
+                ranges.push((
+                    ns.namespace.clone(),
+                    query.start_key.clone(),
+                    query.end_key.clone(),
+                ));
+            }
+        }
+    }
+    shared.ledger.mvcc_validate(block, &mut flags).ok()?;
+    Some(Speculation {
+        flags,
+        height,
+        reads,
+        ranges,
+        tx_ids,
+    })
+}
+
+/// Did any commit since the speculation ran invalidate its footprint?
+fn speculation_intact(spec: &Speculation, recent: &BTreeMap<u64, RecentCommit>) -> bool {
+    recent.range(spec.height..).all(|(_, commit)| {
+        spec.tx_ids.is_disjoint(&commit.tx_ids)
+            && spec.reads.is_disjoint(&commit.writes)
+            && (spec.ranges.is_empty()
+                || !commit.writes.iter().any(|(ns, key)| {
+                    spec.ranges.iter().any(|(qns, start, end)| {
+                        qns == ns
+                            && key.as_str() >= start.as_str()
+                            && (end.is_empty() || key.as_str() < end.as_str())
+                    })
+                }))
+    })
+}
+
+/// The footprint a committed block exposes to later speculations.
+fn recent_commit_of(block: &Block, validity: &[TxValidationCode]) -> RecentCommit {
+    let mut writes = HashSet::new();
+    let mut tx_ids = HashSet::new();
+    for (envelope, flag) in block.envelopes.iter().zip(validity) {
+        let EnvelopeContent::Transaction(tx) = &envelope.content else {
+            continue;
+        };
+        tx_ids.insert(tx.tx_id());
+        if *flag != TxValidationCode::Valid {
+            continue;
+        }
+        for ns in &tx.response_payload.rwset.ns_rwsets {
+            for write in &ns.writes {
+                writes.insert((ns.namespace.clone(), write.key.clone()));
+            }
+        }
+    }
+    RecentCommit { writes, tx_ids }
+}
+
+/// The strictly sequential tail of validation for one block. With
+/// `spec_flags` the rw-check was pre-run and proven unaffected, so the
+/// stored flags are reused wholesale.
+fn commit_in_order(
+    shared: &Shared,
+    completed: &CompletedVscc,
+    spec_flags: Option<Vec<TxValidationCode>>,
+) -> Result<CommitEvent, PeerError> {
+    let block = &completed.job.block;
+    let vscc_flags = std::mem::take(&mut *completed.job.flags.lock());
     let mut timing = ValidationTiming {
         vscc: completed.vscc,
         ..Default::default()
     };
 
     let start = Instant::now();
-    shared
-        .ledger
-        .mvcc_validate(block, &mut flags)
-        .map_err(PeerError::Ledger)?;
+    let flags = match spec_flags {
+        Some(flags) => flags,
+        None => {
+            let mut flags = vscc_flags.clone();
+            shared
+                .ledger
+                .mvcc_validate(block, &mut flags)
+                .map_err(PeerError::Ledger)?;
+            flags
+        }
+    };
     timing.rw_check = start.elapsed();
 
     let start = Instant::now();
@@ -668,6 +1108,19 @@ fn commit_in_order(shared: &Shared, completed: &CompletedVscc) -> Result<CommitE
             *shared.committer.view().write() = ChannelView::new(update.config.clone())?;
         }
     }
+
+    // Retire this block from the conflict index: VSCC-valid txs' keys
+    // now (the append landed; the pool already retired the invalid
+    // ones), then the block itself — after the view swap, so a woken
+    // reader observes both the new state and the new view.
+    let landed: Vec<(String, String)> = vscc_flags
+        .iter()
+        .enumerate()
+        .filter(|(_, flag)| **flag == TxValidationCode::Valid)
+        .flat_map(|(i, _)| completed.job.tx_writes[i].iter().cloned())
+        .collect();
+    shared.release_keys(&landed);
+    shared.finish_block(completed.job.barrier);
 
     {
         let mut stats = shared.stats.lock();
@@ -687,7 +1140,7 @@ fn commit_in_order(shared: &Shared, completed: &CompletedVscc) -> Result<CommitE
     })
 }
 
-/// Handle to a running pipelined committer.
+/// Handle to one channel's running pipelined committer.
 ///
 /// Dropping the handle closes the intake and waits for every submitted
 /// block to commit (graceful drain); use [`PipelineHandle::abort`] to
@@ -697,6 +1150,9 @@ pub struct PipelineHandle {
     intake: Option<Sender<Block>>,
     events: Receiver<CommitEvent>,
     threads: Vec<JoinHandle<()>>,
+    /// The privately owned pool, when built via [`Committer::pipeline`];
+    /// `None` for channels attached to a shared [`PipelineManager`].
+    pool: Option<PipelineManager>,
 }
 
 impl PipelineHandle {
@@ -759,11 +1215,15 @@ impl PipelineHandle {
     }
 
     /// Closes the intake, drains every submitted block, and returns the
-    /// final statistics (or the first error).
+    /// final statistics (or the first error). A privately owned pool is
+    /// shut down; a shared pool stays up for its other channels.
     pub fn close(mut self) -> Result<PipelineStats, PeerError> {
         drop(self.intake.take());
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.close();
         }
         if let Some(err) = self.shared.error.lock().take() {
             return Err(err);
@@ -779,6 +1239,9 @@ impl PipelineHandle {
         drop(self.intake.take());
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.close();
         }
     }
 
@@ -796,6 +1259,9 @@ impl Drop for PipelineHandle {
         drop(self.intake.take());
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.close();
         }
     }
 }
@@ -857,6 +1323,52 @@ mod tests {
     }
 
     #[test]
+    fn stage_histogram_bounded_and_exact() {
+        let mut histogram = StageHistogram::default();
+        let n = (3 * HISTOGRAM_RESERVOIR) as u64;
+        for i in 0..n {
+            histogram.record(Duration::from_micros(i));
+        }
+        // The reservoir is bounded, but count/mean/max stay exact.
+        assert!(histogram.samples_us.len() <= HISTOGRAM_RESERVOIR);
+        assert_eq!(histogram.count(), n as usize);
+        assert_eq!(histogram.avg(), Duration::from_micros((n * (n - 1) / 2) / n));
+        let summary = histogram.summary();
+        assert_eq!(summary.count, n as usize);
+        assert_eq!(summary.max, Duration::from_micros(n - 1));
+        // Percentiles are estimates over a uniform sample: p99 of a
+        // uniform 0..n ramp must land in the top quarter of the range.
+        assert!(histogram.percentile(99.0) >= Duration::from_micros(3 * n / 4));
+        assert!(histogram.percentile(99.0) <= Duration::from_micros(n - 1));
+    }
+
+    #[test]
+    fn vscc_cost_ewma_clamped_for_near_zero_cost() {
+        let ewma = CostEwma::default();
+        assert_eq!(ewma.nanos(), 0, "no sample yet");
+        // Sub-microsecond (even zero-duration) samples must not pin the
+        // EWMA near zero — `sample / 8` would round to nothing and the
+        // chunk sizer would explode `target / ewma`.
+        ewma.observe(Duration::ZERO);
+        assert_eq!(ewma.nanos(), MIN_VSCC_COST_NS);
+        for _ in 0..64 {
+            ewma.observe(Duration::from_nanos(1));
+        }
+        assert_eq!(ewma.nanos(), MIN_VSCC_COST_NS, "clamped at the floor");
+        // Real cost still pulls the EWMA up...
+        for _ in 0..64 {
+            ewma.observe(Duration::from_micros(8));
+        }
+        assert!(ewma.nanos() > Duration::from_micros(4).as_nanos() as u64);
+        // ...and decaying back down re-converges to the floor's fixed
+        // point (integer α = 1/8 settles within one step of the floor).
+        for _ in 0..256 {
+            ewma.observe(Duration::ZERO);
+        }
+        assert!((MIN_VSCC_COST_NS..MIN_VSCC_COST_NS + 8).contains(&ewma.nanos()));
+    }
+
+    #[test]
     fn pipeline_matches_sequential_masks_and_state() {
         let fixture = fx::fixture();
         let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
@@ -914,6 +1426,47 @@ mod tests {
         );
         assert!(stats.vscc.count() == blocks.len());
         assert!(stats.total.avg() >= stats.rw_check.avg());
+    }
+
+    #[test]
+    fn shared_pool_serves_two_channels() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+        let blocks = build_put_chain(&fixture, &builder, &admin, &client, 3, 4);
+
+        // Two independent ledgers ("channels") fed through ONE pool.
+        let pool = PipelineManager::new(2);
+        let peer_a = fx::make_peer(&fixture, &fixture.ca1, "chan-a.org1");
+        let peer_b = fx::make_peer(&fixture, &fixture.ca1, "chan-b.org1");
+        let handle_a = peer_a.pipeline_shared(&pool, PipelineOptions::default());
+        let handle_b = peer_b.pipeline_shared(&pool, PipelineOptions::default());
+        for block in &blocks {
+            handle_a.submit(block.clone()).unwrap();
+            handle_b.submit(block.clone()).unwrap();
+        }
+        let final_height = blocks.len() as u64 + 1;
+        handle_a.wait_committed(final_height).unwrap();
+        handle_b.wait_committed(final_height).unwrap();
+        let stats_a = handle_a.close().unwrap();
+        let stats_b = handle_b.close().unwrap();
+        pool.close();
+
+        assert_eq!(stats_a.blocks, blocks.len() as u64);
+        assert_eq!(stats_b.blocks, blocks.len() as u64);
+        let sequential = fx::make_peer(&fixture, &fixture.ca1, "seq.org1");
+        for block in &blocks {
+            sequential.commit_block(block).unwrap();
+        }
+        for peer in [&peer_a, &peer_b] {
+            assert_eq!(peer.height(), sequential.height());
+            assert_eq!(peer.ledger().last_hash(), sequential.ledger().last_hash());
+            assert_eq!(
+                peer.scan_state("kvcc", "", "").unwrap(),
+                sequential.scan_state("kvcc", "", "").unwrap()
+            );
+        }
     }
 
     #[test]
@@ -1052,6 +1605,172 @@ mod tests {
             std::thread::sleep(self.0);
             TxValidationCode::Valid
         }
+    }
+
+    /// Key-disjoint reader/writer blocks: the writer block puts key `a`
+    /// while the reader block's custom VSCC declares a read of key `b`.
+    /// Key-level stalls let them overlap; block-level stalls may not.
+    fn run_disjoint_reader(mode: DependencyMode) -> PipelineStats {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+
+        let deploy = fx::deploy_kvcc(&fixture, &[&builder], "Org1MSP", &admin);
+        let deploy_block = fx::next_block(&builder, vec![deploy]);
+        builder.commit_block(&deploy_block).unwrap();
+        // Block 2 seeds key `b` so the reader can endorse a `get` on it.
+        let sp = fx::signed_proposal(
+            &client,
+            &fixture.channel,
+            "kvcc",
+            "put",
+            vec![b"b".to_vec(), b"seed".to_vec()],
+            [0x61; 32],
+        );
+        let response = builder.process_proposal(&sp).unwrap();
+        let seed_block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+        builder.commit_block(&seed_block).unwrap();
+        // Block 3 writes key `a`; block 4 reads key `b` — disjoint.
+        let sp = fx::signed_proposal(
+            &client,
+            &fixture.channel,
+            "kvcc",
+            "put",
+            vec![b"a".to_vec(), b"w".to_vec()],
+            [0x62; 32],
+        );
+        let response = builder.process_proposal(&sp).unwrap();
+        let writer_block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+        builder.commit_block(&writer_block).unwrap();
+        let sp = fx::signed_proposal(
+            &client,
+            &fixture.channel,
+            "kvcc",
+            "get",
+            vec![b"b".to_vec()],
+            [0x63; 32],
+        );
+        let response = builder.process_proposal(&sp).unwrap();
+        let reader_block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+        builder.commit_block(&reader_block).unwrap();
+
+        let pipelined = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        // A slow custom VSCC keeps the writer block in flight while the
+        // reader block reaches the admitter's stall rule.
+        pipelined.register_vscc("kvcc", Arc::new(SleepVscc(Duration::from_millis(50))));
+        let handle = pipelined.pipeline_with(PipelineOptions {
+            vscc_workers: 2,
+            dependency_mode: mode,
+            ..PipelineOptions::default()
+        });
+        // Retire the barrier (deploy) and seed blocks before the race so
+        // only writer-vs-reader can register a dependency stall.
+        handle.submit(deploy_block).unwrap();
+        handle.wait_committed(2).unwrap();
+        handle.submit(seed_block).unwrap();
+        handle.wait_committed(3).unwrap();
+        handle.submit(writer_block).unwrap();
+        handle.submit(reader_block).unwrap();
+        handle.wait_committed(5).unwrap();
+        let stats = handle.close().unwrap();
+        assert_eq!(pipelined.get_state("kvcc", "a").unwrap(), Some(b"w".to_vec()));
+        stats
+    }
+
+    #[test]
+    fn key_level_stalls_skip_disjoint_keys_block_level_does_not() {
+        let key_level = run_disjoint_reader(DependencyMode::KeyLevel);
+        assert_eq!(
+            key_level.queues.dependency_stalls, 0,
+            "disjoint keys must not stall under key-level mode"
+        );
+        let block_level = run_disjoint_reader(DependencyMode::BlockLevel);
+        assert!(
+            block_level.queues.dependency_stalls >= 1,
+            "block-level mode stalls any state-reading block behind in-flight work"
+        );
+    }
+
+    /// Custom VSCC that sleeps only for transactions writing `slow`,
+    /// parking the following blocks in the reorder buffer.
+    struct SlowKeyVscc;
+
+    impl Vscc for SlowKeyVscc {
+        fn validate(
+            &self,
+            tx: &Transaction,
+            _msp: &MspRegistry,
+            _channel_orgs: &[String],
+            _ledger: &fabric_ledger::Ledger,
+        ) -> TxValidationCode {
+            let writes_slow = tx
+                .response_payload
+                .rwset
+                .ns_rwsets
+                .iter()
+                .any(|ns| ns.writes.iter().any(|w| w.key == "slow"));
+            if writes_slow {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            TxValidationCode::Valid
+        }
+    }
+
+    #[test]
+    fn speculative_rw_check_reused_for_parked_blocks() {
+        let fixture = fx::fixture();
+        let builder = fx::make_peer(&fixture, &fixture.ca1, "builder.org1");
+        let admin = fabric_msp::issue_identity(&fixture.ca1, "admin1", Role::Admin, b"a1");
+        let client = fabric_msp::issue_identity(&fixture.ca1, "client1", Role::Client, b"c1");
+
+        let deploy = fx::deploy_kvcc(&fixture, &[&builder], "Org1MSP", &admin);
+        let mut blocks = vec![fx::next_block(&builder, vec![deploy])];
+        builder.commit_block(&blocks[0]).unwrap();
+        for (i, key) in ["slow", "fast3", "fast4"].into_iter().enumerate() {
+            let sp = fx::signed_proposal(
+                &client,
+                &fixture.channel,
+                "kvcc",
+                "put",
+                vec![key.as_bytes().to_vec(), b"v".to_vec()],
+                [i as u8 ^ 0x71; 32],
+            );
+            let response = builder.process_proposal(&sp).unwrap();
+            let block = fx::next_block(&builder, vec![fx::assemble(&client, &sp, &[response])]);
+            builder.commit_block(&block).unwrap();
+            blocks.push(block);
+        }
+
+        let pipelined = fx::make_peer(&fixture, &fixture.ca1, "pipe.org1");
+        pipelined.register_vscc("kvcc", Arc::new(SlowKeyVscc));
+        let handle = pipelined.pipeline_with(PipelineOptions {
+            vscc_workers: 2,
+            ..PipelineOptions::default()
+        });
+        for block in &blocks {
+            handle.submit(block.clone()).unwrap();
+        }
+        handle.wait_committed(blocks.len() as u64 + 1).unwrap();
+        let stats = handle.close().unwrap();
+        // Blocks 3 and 4 finish VSCC ~100 ms before block 2 and park in
+        // the reorder buffer, where their rw-checks run speculatively;
+        // block 2's key-disjoint writes must not invalidate them.
+        assert!(
+            stats.queues.spec_hits >= 1,
+            "parked blocks must reuse their speculative rw-checks, got {:?}",
+            stats.queues
+        );
+        assert_eq!(stats.queues.spec_misses, 0);
+        let sequential = fx::make_peer(&fixture, &fixture.ca1, "seq.org1");
+        for block in &blocks {
+            sequential.commit_block(block).unwrap();
+        }
+        assert_eq!(pipelined.ledger().last_hash(), sequential.ledger().last_hash());
+        assert_eq!(
+            pipelined.scan_state("kvcc", "", "").unwrap(),
+            sequential.scan_state("kvcc", "", "").unwrap()
+        );
     }
 
     #[test]

@@ -218,10 +218,8 @@ impl PolicyExpr {
 
     fn collect_orgs(&self, out: &mut Vec<String>) {
         match self {
-            PolicyExpr::Principal(p) => {
-                if !out.contains(&p.msp_id) {
-                    out.push(p.msp_id.clone());
-                }
+            PolicyExpr::Principal(p) if !out.contains(&p.msp_id) => {
+                out.push(p.msp_id.clone());
             }
             PolicyExpr::And(subs) | PolicyExpr::Or(subs) | PolicyExpr::OutOf(_, subs) => {
                 for s in subs {

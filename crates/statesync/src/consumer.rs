@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use fabric_crypto::Digest;
 use fabric_msp::MspRegistry;
 use fabric_primitives::ids::ChannelId;
+use fabric_primitives::wire::Wire;
 
 use crate::manifest::{Manifest, SyncMessage};
 
@@ -182,6 +183,21 @@ impl Catchup {
         matches!(self.phase, Phase::Finished)
     }
 
+    /// Handles a serialized state-transfer message from `from`, as it
+    /// arrives off the wire. A payload that does not decode is treated
+    /// like any other bad response: it counts against that provider's
+    /// failure cap and the affected requests are re-dispatched — a
+    /// malformed provider must never panic or wedge the transfer.
+    pub fn step_wire(&mut self, from: ProviderId, payload: &[u8]) -> Vec<SyncOutput> {
+        if !self.providers.contains_key(&from) {
+            return Vec::new(); // unknown sender: ignore
+        }
+        match SyncMessage::from_wire(payload) {
+            Ok(message) => self.step(from, message),
+            Err(_) => self.on_malformed(from),
+        }
+    }
+
     /// Handles a state-transfer message from `from`.
     pub fn step(&mut self, from: ProviderId, message: SyncMessage) -> Vec<SyncOutput> {
         if !self.providers.contains_key(&from) {
@@ -291,6 +307,35 @@ impl Catchup {
         self.dispatch()
     }
 
+    /// An undecodable payload from `from`: charge the provider, and put
+    /// whatever it was supposed to be answering back in play.
+    fn on_malformed(&mut self, from: ProviderId) -> Vec<SyncOutput> {
+        self.charge_failure(from);
+        if matches!(self.phase, Phase::Manifest { from: f, .. } if f == from) {
+            return self.request_manifest();
+        }
+        if let Phase::Fetching { slots, .. } = &mut self.phase {
+            // The provider's in-flight segments are suspect: requeue them
+            // now (preferring a different peer) instead of waiting out
+            // their timeouts.
+            let mut requeued = 0;
+            for slot in slots.iter_mut() {
+                if matches!(slot.state, SlotState::Inflight { provider, .. } if provider == from) {
+                    slot.state = SlotState::Pending;
+                    slot.last_failed = Some(from);
+                    requeued += 1;
+                }
+            }
+            if requeued > 0 {
+                if let Some(p) = self.providers.get_mut(&from) {
+                    p.inflight = p.inflight.saturating_sub(requeued);
+                }
+            }
+            return self.dispatch();
+        }
+        Vec::new()
+    }
+
     fn on_no_snapshot(&mut self, from: ProviderId) -> Vec<SyncOutput> {
         if !matches!(self.phase, Phase::Manifest { from: f, .. } if f == from) {
             return Vec::new();
@@ -347,24 +392,24 @@ impl Catchup {
 
     /// Installs if every segment is done, otherwise keeps dispatching.
     fn try_finish_or_dispatch(&mut self) -> Vec<SyncOutput> {
-        let Phase::Fetching { manifest, slots, .. } = &self.phase else {
+        let Phase::Fetching { slots, .. } = &self.phase else {
             return Vec::new();
         };
         if !slots.iter().all(|s| matches!(s.state, SlotState::Done(_))) {
             return self.dispatch();
         }
-        let manifest = manifest.clone();
-        let segments: Vec<Vec<Vec<u8>>> = match &self.phase {
-            Phase::Fetching { slots, .. } => slots
-                .iter()
-                .map(|s| match &s.state {
-                    SlotState::Done(chunks) => chunks.clone(),
-                    _ => unreachable!("all slots checked Done above"),
-                })
-                .collect(),
-            _ => unreachable!(),
+        let Phase::Fetching { manifest, slots, .. } =
+            std::mem::replace(&mut self.phase, Phase::Finished)
+        else {
+            return Vec::new();
         };
-        self.phase = Phase::Finished;
+        let segments: Vec<Vec<Vec<u8>>> = slots
+            .into_iter()
+            .filter_map(|slot| match slot.state {
+                SlotState::Done(chunks) => Some(chunks),
+                _ => None,
+            })
+            .collect();
         match crate::snapshot::decode_entries(&manifest, &segments) {
             Ok(entries) => vec![SyncOutput::Install { manifest, entries }],
             // Every chunk matched its Merkle root yet the stream does not
@@ -417,7 +462,10 @@ impl Catchup {
                 let Some((_, provider)) = preferred.or(any) else {
                     continue;
                 };
-                self.providers.get_mut(&provider).expect("picked").inflight += 1;
+                let Some(p) = self.providers.get_mut(&provider) else {
+                    continue; // provider set never shrinks, but never panic
+                };
+                p.inflight += 1;
                 slot.state = SlotState::Inflight { provider, deadline };
                 outputs.push(SyncOutput::Send {
                     to: provider,
@@ -467,5 +515,71 @@ impl Catchup {
         vec![SyncOutput::Fallback {
             reason: reason.to_string(),
         }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A malformed (undecodable) provider payload must count against that
+    /// provider's failure cap and eventually write it off — never panic.
+    #[test]
+    fn malformed_payload_counts_against_failure_cap() {
+        let mut consumer = Catchup::new(
+            ChannelId::new("ch"),
+            MspRegistry::new(),
+            &[7],
+            ConsumerConfig {
+                request_timeout: 2,
+                max_backoff: 2,
+                max_provider_failures: 2,
+                max_inflight_per_provider: 1,
+            },
+        );
+        let outputs = consumer.start();
+        assert!(matches!(outputs[0], SyncOutput::Send { to: 7, .. }));
+
+        // First garbage response: charged and backed off, transfer alive.
+        assert!(consumer.step_wire(7, b"\xffgarbage").is_empty());
+        assert!(!consumer.finished());
+
+        // Keep answering every retry with garbage: the lone provider
+        // exhausts its failure budget and the consumer falls back.
+        let mut saw_fallback = false;
+        'drive: for _ in 0..32 {
+            for output in consumer.tick() {
+                match output {
+                    SyncOutput::Send { to, .. } => {
+                        for retry in consumer.step_wire(to, b"\xffgarbage") {
+                            if matches!(retry, SyncOutput::Fallback { .. }) {
+                                saw_fallback = true;
+                            }
+                        }
+                    }
+                    SyncOutput::Fallback { .. } => saw_fallback = true,
+                    SyncOutput::Install { .. } => unreachable!("nothing was served"),
+                }
+            }
+            if saw_fallback {
+                break 'drive;
+            }
+        }
+        assert!(saw_fallback, "provider never written off");
+        assert!(consumer.finished());
+    }
+
+    /// Garbage from a peer the consumer never heard of is ignored.
+    #[test]
+    fn malformed_payload_from_unknown_sender_ignored() {
+        let mut consumer = Catchup::new(
+            ChannelId::new("ch"),
+            MspRegistry::new(),
+            &[7],
+            ConsumerConfig::default(),
+        );
+        let _ = consumer.start();
+        assert!(consumer.step_wire(99, b"\xffgarbage").is_empty());
+        assert!(!consumer.finished());
     }
 }

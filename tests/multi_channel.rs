@@ -1,12 +1,23 @@
 //! Multiple channels on one ordering service (paper Sec. 3.1): channels
 //! partition state, each forms its own hash chain, and cross-channel
-//! ordering is uncoordinated.
+//! ordering is uncoordinated. The second half exercises the peer-side
+//! counterpart — gossip deliver streams for several channels feeding one
+//! `DeliverMux`, whose per-channel validation pipelines share one global
+//! VSCC worker pool.
 
+use std::sync::Arc;
+
+use fabric::gossip::{GossipConfig, GossipNode, GossipOutput};
+use fabric::kvstore::MemBackend;
+use fabric::msp::Role;
 use fabric::ordering::testkit::{make_envelope, TestNet};
 use fabric::ordering::{OrderingCluster, OrderingNode};
+use fabric::peer::{DeliverMux, Peer, PeerConfig, PeerError, PipelineOptions};
+use fabric::primitives::block::Block;
 use fabric::primitives::config::{BatchConfig, ConsensusType};
 use fabric::primitives::ids::ChannelId;
 use fabric::primitives::rwset::TxReadWriteSet;
+use fabric::primitives::wire::Wire;
 
 fn nonce(i: u64) -> [u8; 32] {
     let mut n = [0u8; 32];
@@ -128,4 +139,265 @@ fn per_channel_state_access() {
     let state = node.channel(&ChannelId::new("channel-a")).unwrap();
     assert_eq!(state.config.sequence, 0);
     assert!(node.channel(&ChannelId::new("nope")).is_none());
+}
+
+/// One ordering service carrying two channels, one-envelope batches.
+fn two_channel_ordering() -> (TestNet, ChannelId, ChannelId, OrderingCluster) {
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Solo,
+        1,
+        BatchConfig {
+            max_message_count: 1,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 1000,
+        },
+    );
+    let chan_a = ChannelId::new("channel-a");
+    let chan_b = ChannelId::new("channel-b");
+    let mut genesis_a = net.genesis.clone();
+    genesis_a.channel = chan_a.clone();
+    let mut genesis_b = net.genesis.clone();
+    genesis_b.channel = chan_b.clone();
+    let ordering = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![genesis_a, genesis_b],
+    )
+    .unwrap();
+    (net, chan_a, chan_b, ordering)
+}
+
+fn join_peer(net: &TestNet, genesis: &Block, name: &str) -> Peer {
+    let identity = fabric::msp::issue_identity(
+        &net.org_cas[0],
+        name,
+        Role::Peer,
+        format!("mc-{name}").as_bytes(),
+    );
+    Peer::join(
+        identity,
+        genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Broadcasts `count` distinct envelopes on each channel.
+fn broadcast_on_both(
+    ordering: &mut OrderingCluster,
+    net: &TestNet,
+    chan_a: &ChannelId,
+    chan_b: &ChannelId,
+    count: u64,
+) {
+    let client = net.client(0, "c1");
+    for i in 0..count {
+        for channel in [chan_a, chan_b] {
+            let mut n = nonce(i);
+            n[8] = channel.0.len() as u8;
+            n[9] = channel.0.as_bytes()[channel.0.len() - 1];
+            ordering
+                .broadcast(make_envelope(&client, channel, n, TxReadWriteSet::default()))
+                .unwrap();
+        }
+    }
+}
+
+#[test]
+fn deliver_mux_dedups_rejects_gaps_and_garbage() {
+    let (net, chan_a, chan_b, mut ordering) = two_channel_ordering();
+    broadcast_on_both(&mut ordering, &net, &chan_a, &chan_b, 3);
+
+    let genesis_a = ordering.deliver(&chan_a, 0).unwrap();
+    let genesis_b = ordering.deliver(&chan_b, 0).unwrap();
+    let peer_a = join_peer(&net, &genesis_a, "pa");
+    let peer_b = join_peer(&net, &genesis_b, "pb");
+
+    let mux = DeliverMux::new(2);
+    mux.attach(chan_a.clone(), &peer_a, PipelineOptions::default())
+        .expect("channel A attaches");
+    mux.attach(chan_b.clone(), &peer_b, PipelineOptions::default())
+        .expect("channel B attaches");
+    assert!(
+        mux.attach(chan_a.clone(), &peer_a, PipelineOptions::default())
+            .is_err(),
+        "double attach rejected"
+    );
+
+    // Deliver both channels' chains, each block twice (a gossip push and
+    // a pull both surface it): the second copy is a dropped duplicate,
+    // not an error and not a double commit.
+    for number in 1..=3u64 {
+        for channel in [&chan_a, &chan_b] {
+            let payload = ordering.deliver(channel, number).unwrap().to_wire();
+            assert!(mux.deliver(channel, number, &payload).unwrap());
+            assert!(
+                !mux.deliver(channel, number, &payload).unwrap(),
+                "redelivery dropped"
+            );
+        }
+    }
+    // A stale redelivery from far back is likewise dropped.
+    let old = ordering.deliver(&chan_a, 1).unwrap().to_wire();
+    assert!(!mux.deliver(&chan_a, 1, &old).unwrap());
+
+    // Gaps, undecodable payloads, mislabelled numbers, and unknown
+    // channels are hard errors.
+    let future = ordering.deliver(&chan_a, 3).unwrap().to_wire();
+    assert!(matches!(
+        mux.deliver(&chan_a, 9, &future),
+        Err(PeerError::BadBlock(_))
+    ));
+    assert!(matches!(
+        mux.deliver(&chan_a, 4, b"\xff\xfe not a block"),
+        Err(PeerError::BadBlock(_))
+    ));
+    assert!(matches!(
+        mux.deliver(&chan_a, 4, &future), // payload says block 3
+        Err(PeerError::BadBlock(_))
+    ));
+    assert!(matches!(
+        mux.deliver(&ChannelId::new("nope"), 1, &future),
+        Err(PeerError::BadBlock(_))
+    ));
+
+    mux.wait_committed(&chan_a, 4).expect("channel A drains");
+    mux.wait_committed(&chan_b, 4).expect("channel B drains");
+    let stats = mux.close().expect("mux closes clean");
+    assert_eq!(stats[&chan_a].blocks, 3, "channel A committed once each");
+    assert_eq!(stats[&chan_b].blocks, 3, "channel B committed once each");
+    assert_eq!(peer_a.height(), 4);
+    assert_eq!(peer_b.height(), 4);
+    assert_ne!(
+        peer_a.ledger().last_hash(),
+        peer_b.ledger().last_hash(),
+        "channels hold distinct blockchains"
+    );
+}
+
+#[test]
+fn gossip_delivers_two_channels_through_one_mux() {
+    // Two gossip nodes, each hosting both channels; node 1 leads and
+    // pulls from ordering. Every `DeliverBlock` output — including
+    // gossip's at-least-once redeliveries — is fed straight into the
+    // node's DeliverMux, which owns dedup and ordering per channel.
+    let (net, chan_a, chan_b, mut ordering) = two_channel_ordering();
+    broadcast_on_both(&mut ordering, &net, &chan_a, &chan_b, 4);
+    let genesis_a = ordering.deliver(&chan_a, 0).unwrap();
+    let genesis_b = ordering.deliver(&chan_b, 0).unwrap();
+
+    let bootstrap: Vec<(u64, String)> =
+        (1..=2).map(|id| (id, "Org1MSP".to_string())).collect();
+    let mut gossips: Vec<GossipNode> = (1..=2)
+        .map(|id| {
+            GossipNode::new(
+                id,
+                "Org1MSP",
+                &bootstrap,
+                vec![chan_a.clone(), chan_b.clone()],
+                GossipConfig::default(),
+                7,
+            )
+        })
+        .collect();
+    // One mux per gossip node; each mux holds both channels' peers on a
+    // two-worker shared pool.
+    let peers: Vec<(Peer, Peer)> = (0..2)
+        .map(|i| {
+            (
+                join_peer(&net, &genesis_a, &format!("ga{i}")),
+                join_peer(&net, &genesis_b, &format!("gb{i}")),
+            )
+        })
+        .collect();
+    let muxes: Vec<DeliverMux> = peers
+        .iter()
+        .map(|(pa, pb)| {
+            let mux = DeliverMux::new(2);
+            mux.attach(chan_a.clone(), pa, PipelineOptions::default())
+                .unwrap();
+            mux.attach(chan_b.clone(), pb, PipelineOptions::default())
+                .unwrap();
+            mux
+        })
+        .collect();
+
+    type Pending = std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)>;
+    let route = |output: GossipOutput, from: u64, idx: usize, pending: &mut Pending| {
+        match output {
+            GossipOutput::Send { to, message } => pending.push_back((from, to, message)),
+            GossipOutput::DeliverBlock {
+                channel,
+                block_num,
+                payload,
+            } => {
+                // The mux absorbs redeliveries (Ok(false)); anything else
+                // must be an in-order submit.
+                muxes[idx]
+                    .deliver(&channel, block_num, &payload)
+                    .expect("gossip delivery is contiguous per channel");
+            }
+            GossipOutput::PullFromOrderer { .. } => {}
+            GossipOutput::DeliverStateSync { .. } => {}
+        }
+    };
+    let mut pending: Pending = Default::default();
+    for _ in 0..30 {
+        for idx in 0..gossips.len() {
+            let node_id = gossips[idx].id();
+            for output in gossips[idx].tick() {
+                if let GossipOutput::PullFromOrderer { channel, next } = output {
+                    assert_eq!(node_id, 1, "only the org leader pulls");
+                    if let Some(block) = ordering.deliver(&channel, next) {
+                        let more = gossips[idx].on_block_from_orderer(
+                            &channel,
+                            block.header.number,
+                            block.to_wire(),
+                        );
+                        for m in more {
+                            route(m, node_id, idx, &mut pending);
+                        }
+                    }
+                } else {
+                    route(output, node_id, idx, &mut pending);
+                }
+            }
+        }
+        while let Some((from, to, message)) = pending.pop_front() {
+            let idx = (to - 1) as usize;
+            for output in gossips[idx].step(from, message) {
+                route(output, to, idx, &mut pending);
+            }
+        }
+    }
+
+    // Both nodes converged on both channels: genesis + 4 tx blocks each.
+    for (idx, mux) in muxes.iter().enumerate() {
+        mux.wait_committed(&chan_a, 5)
+            .unwrap_or_else(|_| panic!("node {idx} channel A drains"));
+        mux.wait_committed(&chan_b, 5)
+            .unwrap_or_else(|_| panic!("node {idx} channel B drains"));
+    }
+    for mux in muxes {
+        let stats = mux.close().expect("mux closes clean");
+        assert_eq!(stats[&chan_a].blocks, 4);
+        assert_eq!(stats[&chan_b].blocks, 4);
+    }
+    for (pa, pb) in &peers {
+        assert_eq!(pa.height(), 5);
+        assert_eq!(pb.height(), 5);
+    }
+    assert_eq!(
+        peers[0].0.ledger().last_hash(),
+        peers[1].0.ledger().last_hash(),
+        "channel A chains agree across nodes"
+    );
+    assert_eq!(
+        peers[0].1.ledger().last_hash(),
+        peers[1].1.ledger().last_hash(),
+        "channel B chains agree across nodes"
+    );
 }

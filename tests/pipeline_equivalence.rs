@@ -7,7 +7,7 @@
 mod common;
 
 use common::PipelineWorld;
-use fabric::peer::{Peer, PipelineOptions};
+use fabric::peer::{Peer, PipelineManager, PipelineOptions};
 use fabric::primitives::block::Block;
 use fabric::primitives::ids::{TxValidationCode, Version};
 use fabric::primitives::transaction::Envelope;
@@ -73,6 +73,61 @@ fn assert_ledgers_equal(a: &Peer, b: &Peer) {
     );
 }
 
+/// Builds the shared op-stream block mix: valid puts/incrs/scanputs,
+/// tampered and under-endorsed envelopes, and deferred (cross-block
+/// stale) read-bearing transactions, sealed every three ops.
+fn build_op_blocks(world: &mut PipelineWorld, ops: &[(u8, u8, u8)]) {
+    // Envelopes endorsed against an older state, included one block
+    // later than the ops that follow them — cross-block staleness.
+    let mut deferred: Vec<Envelope> = Vec::new();
+    let mut current: Vec<Envelope> = Vec::new();
+    for (i, &(op, key, defer)) in ops.iter().enumerate() {
+        let key_name = format!("k{}", key % 3);
+        let envelope = match op % 6 {
+            0 => world.endorse(
+                "put",
+                vec![key_name.into_bytes(), vec![op, key, defer]],
+            ),
+            1 => world.endorse("incr", vec![key_name.into_bytes()]),
+            2 => world.endorse(
+                "scanput",
+                vec![b"k".to_vec(), format!("out{}", key % 2).into_bytes()],
+            ),
+            3 => {
+                let env = world.endorse(
+                    "put",
+                    vec![key_name.into_bytes(), vec![op]],
+                );
+                world.tamper_signature(env)
+            }
+            4 => {
+                let env = world.endorse(
+                    "put",
+                    vec![key_name.into_bytes(), vec![op]],
+                );
+                world.strip_endorsements(env)
+            }
+            _ => world.endorse("incr", vec![key_name.into_bytes()]),
+        };
+        // Read-bearing ops may be deferred a block: their read
+        // versions go stale if an intervening op writes the same key.
+        if defer % 2 == 1 && matches!(op % 6, 1 | 2 | 5) {
+            deferred.push(envelope);
+        } else {
+            current.push(envelope);
+        }
+        // Seal a block every three ops (and at the end).
+        if (i + 1) % 3 == 0 || i + 1 == ops.len() {
+            if !current.is_empty() {
+                world.seal_block(current.split_off(0));
+            }
+            if !deferred.is_empty() {
+                world.seal_block(deferred.split_off(0));
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -84,55 +139,7 @@ proptest! {
         ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 6..36),
     ) {
         let mut world = PipelineWorld::new();
-        // Envelopes endorsed against an older state, included one block
-        // later than the ops that follow them — cross-block staleness.
-        let mut deferred: Vec<Envelope> = Vec::new();
-        let mut current: Vec<Envelope> = Vec::new();
-        for (i, &(op, key, defer)) in ops.iter().enumerate() {
-            let key_name = format!("k{}", key % 3);
-            let envelope = match op % 6 {
-                0 => world.endorse(
-                    "put",
-                    vec![key_name.into_bytes(), vec![op, key, defer]],
-                ),
-                1 => world.endorse("incr", vec![key_name.into_bytes()]),
-                2 => world.endorse(
-                    "scanput",
-                    vec![b"k".to_vec(), format!("out{}", key % 2).into_bytes()],
-                ),
-                3 => {
-                    let env = world.endorse(
-                        "put",
-                        vec![key_name.into_bytes(), vec![op]],
-                    );
-                    world.tamper_signature(env)
-                }
-                4 => {
-                    let env = world.endorse(
-                        "put",
-                        vec![key_name.into_bytes(), vec![op]],
-                    );
-                    world.strip_endorsements(env)
-                }
-                _ => world.endorse("incr", vec![key_name.into_bytes()]),
-            };
-            // Read-bearing ops may be deferred a block: their read
-            // versions go stale if an intervening op writes the same key.
-            if defer % 2 == 1 && matches!(op % 6, 1 | 2 | 5) {
-                deferred.push(envelope);
-            } else {
-                current.push(envelope);
-            }
-            // Seal a block every three ops (and at the end).
-            if (i + 1) % 3 == 0 || i + 1 == ops.len() {
-                if !current.is_empty() {
-                    world.seal_block(current.split_off(0));
-                }
-                if !deferred.is_empty() {
-                    world.seal_block(deferred.split_off(0));
-                }
-            }
-        }
+        build_op_blocks(&mut world, &ops);
 
         let sequential = world.replica("seq.org1", 2);
         let pipelined = world.replica("pipe.org1", 2);
@@ -140,6 +147,71 @@ proptest! {
         let masks_pipe = commit_pipelined(&pipelined, &world.blocks, 3);
         prop_assert_eq!(masks_seq, masks_pipe);
         assert_ledgers_equal(&sequential, &pipelined);
+    }
+
+    /// Multi-channel equivalence: two channels (independent replica
+    /// ledgers) share one global VSCC worker pool, their submissions
+    /// raced under a proptest-chosen cross-channel interleaving with
+    /// speculative rw-checks enabled. Each channel's masks and state
+    /// must stay byte-identical to the sequential path.
+    #[test]
+    fn multi_channel_shared_pool_equivalent_to_sequential(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 6..24),
+        interleave in prop::collection::vec(any::<u8>(), 48),
+    ) {
+        let mut world = PipelineWorld::new();
+        build_op_blocks(&mut world, &ops);
+
+        let sequential = world.replica("seq.org1", 2);
+        let masks_seq = commit_sequential(&sequential, &world.blocks);
+
+        let pool = PipelineManager::new(3);
+        let peers = [world.replica("chan-a.org1", 2), world.replica("chan-b.org1", 2)];
+        let opts = PipelineOptions {
+            intake_capacity: 4,
+            speculative_rw_check: true,
+            ..PipelineOptions::default()
+        };
+        let handles = [
+            peers[0].pipeline_shared(&pool, opts),
+            peers[1].pipeline_shared(&pool, opts),
+        ];
+        let events = [handles[0].events(), handles[1].events()];
+        let mut next = [0usize; 2];
+        // Race the two channels' in-order submissions in the chosen order.
+        for &choice in &interleave {
+            let channel = (choice % 2) as usize;
+            if next[channel] < world.blocks.len() {
+                handles[channel]
+                    .submit(world.blocks[next[channel]].clone())
+                    .expect("pipeline accepts block");
+                next[channel] += 1;
+            }
+        }
+        let final_height = world.blocks.last().expect("blocks nonempty").header.number + 1;
+        for (channel, handle) in handles.into_iter().enumerate() {
+            while next[channel] < world.blocks.len() {
+                handle
+                    .submit(world.blocks[next[channel]].clone())
+                    .expect("pipeline accepts block");
+                next[channel] += 1;
+            }
+            handle.wait_committed(final_height).expect("pipeline drains");
+            handle.close().expect("pipeline closes clean");
+        }
+        pool.close();
+
+        for (channel, events) in events.into_iter().enumerate() {
+            let mut masks = Vec::with_capacity(world.blocks.len());
+            let mut expected_num = world.blocks[0].header.number;
+            while let Ok(event) = events.try_recv() {
+                prop_assert_eq!(event.block_num, expected_num, "events in block order");
+                expected_num += 1;
+                masks.push(event.validity);
+            }
+            prop_assert_eq!(&masks, &masks_seq, "channel {} masks diverge", channel);
+            assert_ledgers_equal(&sequential, &peers[channel]);
+        }
     }
 }
 

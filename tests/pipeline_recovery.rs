@@ -15,7 +15,7 @@ use fabric::kvstore::backend::Backend;
 use fabric::kvstore::MemBackend;
 use fabric::ledger::{BlockStore, Ledger};
 use fabric::msp::MspRegistry;
-use fabric::peer::PipelineOptions;
+use fabric::peer::{PipelineManager, PipelineOptions};
 use fabric::primitives::ids::TxValidationCode;
 use fabric::primitives::transaction::Transaction;
 
@@ -97,6 +97,143 @@ fn abort_with_queued_blocks_recovers_from_savepoint() {
     for block in &world.blocks {
         reference.commit_block(block).expect("reference commits");
     }
+    for block in &world.blocks[(crash_height as usize - 1)..] {
+        reopened.commit_block(block).expect("redelivered commit");
+    }
+    assert_eq!(reopened.height(), reference.height());
+    assert_eq!(reopened.ledger().last_hash(), reference.ledger().last_hash());
+    assert_eq!(
+        reopened.scan_state("kv", "", "").unwrap(),
+        reference.scan_state("kv", "", "").unwrap(),
+        "post-recovery state equals the never-crashed reference"
+    );
+}
+
+#[test]
+fn close_with_queued_blocks_drains_then_restarts_from_savepoint() {
+    // `close()` is the graceful counterpart of `abort()`: every block
+    // already submitted must drain through validation and commit before
+    // the call returns — drain, not drop.
+    let mut world = PipelineWorld::new();
+    for b in 0..5u8 {
+        let envelopes = (0..2)
+            .map(|i| {
+                world.endorse(
+                    "put",
+                    vec![format!("c{b}x{i}").into_bytes(), vec![b, i]],
+                )
+            })
+            .collect();
+        world.seal_block(envelopes);
+    }
+    let total_blocks = world.blocks.len() as u64; // deploy + 5
+
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let peer = world.replica_on("drainer.org1", 2, backend.clone());
+    peer.register_vscc("kv", Arc::new(SlowVscc));
+    let handle = peer.pipeline_with(PipelineOptions {
+        vscc_workers: 2,
+        intake_capacity: 2,
+        ..PipelineOptions::default()
+    });
+    for block in &world.blocks {
+        handle.submit(block.clone()).expect("pipeline accepts");
+    }
+    // Close immediately, without waiting for the watermark: the queued
+    // tail must still commit.
+    let stats = handle.close().expect("close drains clean");
+    assert_eq!(stats.blocks, total_blocks, "every queued block committed");
+    assert_eq!(
+        peer.height(),
+        total_blocks + 1,
+        "close() drained the queue rather than dropping it"
+    );
+    drop(peer);
+
+    // Restart from the same backend: the savepoint agrees with the fully
+    // drained chain, and state matches a never-pipelined reference.
+    let reopened = world.replica_on("drainer.org1", 2, backend.clone());
+    assert_eq!(reopened.height(), total_blocks + 1);
+    assert_eq!(reopened.ledger().ptm().savepoint(), Some(total_blocks));
+    let reference = world.replica("reference.org1", 2);
+    for block in &world.blocks {
+        reference.commit_block(block).expect("reference commits");
+    }
+    assert_eq!(reopened.ledger().last_hash(), reference.ledger().last_hash());
+    assert_eq!(
+        reopened.scan_state("kv", "", "").unwrap(),
+        reference.scan_state("kv", "", "").unwrap(),
+        "drained state equals the sequential reference"
+    );
+}
+
+#[test]
+fn multi_channel_abort_isolates_channels_and_recovers_from_savepoint() {
+    // Two channels share one VSCC worker pool. Aborting one mid-stream
+    // (a per-channel crash) must not disturb the other channel's drain,
+    // and the aborted channel must restart cleanly from its savepoint.
+    let mut world = PipelineWorld::new();
+    for b in 0..6u8 {
+        let envelopes = (0..3)
+            .map(|i| {
+                world.endorse(
+                    "put",
+                    vec![format!("m{b}x{i}").into_bytes(), vec![b, i]],
+                )
+            })
+            .collect();
+        world.seal_block(envelopes);
+    }
+    let total_blocks = world.blocks.len() as u64; // deploy + 6
+
+    let pool = PipelineManager::new(2);
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let victim = world.replica_on("victim.org1", 2, backend.clone());
+    victim.register_vscc("kv", Arc::new(SlowVscc));
+    let survivor = world.replica("survivor.org1", 2);
+    survivor.register_vscc("kv", Arc::new(SlowVscc));
+    let opts = PipelineOptions {
+        intake_capacity: 2,
+        ..PipelineOptions::default()
+    };
+    let victim_handle = victim.pipeline_shared(&pool, opts);
+    let survivor_handle = survivor.pipeline_shared(&pool, opts);
+    for block in &world.blocks {
+        victim_handle.submit(block.clone()).expect("victim accepts");
+        survivor_handle.submit(block.clone()).expect("survivor accepts");
+    }
+    victim_handle.wait_committed(3).expect("victim prefix commits");
+    victim_handle.abort();
+    let crash_height = victim.height();
+    assert!(crash_height >= 3, "the waited-for prefix must have committed");
+    drop(victim);
+
+    // The surviving channel drains to completion on the shared pool.
+    survivor_handle
+        .wait_committed(total_blocks + 1)
+        .expect("survivor unaffected by the victim's abort");
+    survivor_handle.close().expect("survivor closes clean");
+    pool.close();
+
+    let reference = world.replica("reference.org1", 2);
+    for block in &world.blocks {
+        reference.commit_block(block).expect("reference commits");
+    }
+    assert_eq!(survivor.height(), reference.height());
+    assert_eq!(
+        survivor.ledger().last_hash(),
+        reference.ledger().last_hash()
+    );
+
+    // The aborted channel restarts from its savepoint and converges once
+    // the tail is re-delivered.
+    let reopened = world.replica_on("victim.org1", 2, backend.clone());
+    assert_eq!(reopened.height(), crash_height, "no block lost or invented");
+    assert_eq!(
+        reopened.ledger().ptm().savepoint(),
+        Some(crash_height - 1),
+        "savepoint matches the last committed block"
+    );
     for block in &world.blocks[(crash_height as usize - 1)..] {
         reopened.commit_block(block).expect("redelivered commit");
     }

@@ -180,11 +180,15 @@ fn lagging_peer_catches_up_via_snapshot_despite_faults() {
                         else {
                             continue;
                         };
-                        let message = SyncMessage::from_wire(&payload).unwrap();
-                        if let SyncMessage::ManifestResponse { manifest } = &message {
-                            signed_manifest = Some(manifest.clone());
+                        // Peek for the signed manifest (the driver keeps it
+                        // for the later install); the consumer itself takes
+                        // the raw payload and owns decode failures.
+                        if let Ok(SyncMessage::ManifestResponse { manifest }) =
+                            SyncMessage::from_wire(&payload)
+                        {
+                            signed_manifest = Some(manifest);
                         }
-                        let outputs = consumer.step(from, message);
+                        let outputs = consumer.step_wire(from, &payload);
                         drive_late(&mut sim, &channel, &mut signed_manifest, &mut installed, outputs);
                     }
                 } else {
@@ -193,7 +197,9 @@ fn lagging_peer_catches_up_via_snapshot_despite_faults() {
                         else {
                             continue;
                         };
-                        let request = SyncMessage::from_wire(&payload).unwrap();
+                        let Ok(request) = SyncMessage::from_wire(&payload) else {
+                            continue; // providers ignore undecodable requests
+                        };
                         let Some(mut reply) = stores[&peer_id].serve(&request) else {
                             continue;
                         };
@@ -329,6 +335,46 @@ fn catchup_falls_back_to_full_replay_without_snapshots() {
         replica.ledger().state_entries(),
         world.builder.ledger().state_entries()
     );
+}
+
+#[test]
+fn malformed_provider_responses_charge_the_provider_not_panic() {
+    let world = make_world(2);
+    let channel = world.net.channel.clone();
+    let mut consumer = Catchup::new(
+        channel,
+        channel_msps(&world),
+        &PROVIDERS,
+        ConsumerConfig::default(),
+    );
+
+    // Every provider answers every request with bytes that are not a
+    // SyncMessage at all. The consumer must charge each one, rotate
+    // through the rest, write them all off, and fall back — without
+    // panicking or wedging.
+    let mut outputs = consumer.start();
+    let mut fallback = None;
+    let mut guard = 0;
+    while fallback.is_none() {
+        guard += 1;
+        assert!(guard < 10_000, "consumer wedged on malformed responses");
+        let mut next = Vec::new();
+        for output in outputs.drain(..) {
+            match output {
+                SyncOutput::Send { to, .. } => {
+                    next.extend(consumer.step_wire(to, b"\xff\xfe not a sync message"));
+                }
+                SyncOutput::Fallback { reason } => fallback = Some(reason),
+                SyncOutput::Install { .. } => panic!("garbage must not install"),
+            }
+        }
+        if fallback.is_none() && next.is_empty() {
+            next.extend(consumer.tick());
+        }
+        outputs = next;
+    }
+    assert!(consumer.finished());
+    assert!(fallback.unwrap().contains("provider"));
 }
 
 /// Routes gossip tick/step outputs into the simulator as control
