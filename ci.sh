@@ -5,9 +5,14 @@
 #  2. The peer crate (committer + multi-channel pipeline) passes clippy
 #     with -D warnings and its unit tests pass on their own.
 #  3. The statesync crate passes clippy with -D warnings.
-#  4. The snapshot catch-up and multi-channel overlap benches complete a
-#     smoke sweep (~15 s) — catches bit-rot in the snapshot wire path and
-#     the shared-pool pipeline manager that unit tests alone might miss.
+#  4. The multi-channel test battery (cross-channel fairness, deliver
+#     credits, gap parking) re-runs under --release: the starvation
+#     regression measures real latencies, and release timing is what the
+#     acceptance bound is calibrated against.
+#  5. The snapshot catch-up and multi-channel overlap benches complete a
+#     smoke sweep (~15 s) — catches bit-rot in the snapshot wire path,
+#     the shared-pool pipeline manager, and the starved-channel DRR/FIFO
+#     scenario that unit tests alone might miss.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -37,6 +42,9 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "clippy not installed; skipping lint gate"
 fi
+
+echo "== multi-channel test battery under --release =="
+cargo test -q --release --test multi_channel
 
 echo "== catch-up bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench

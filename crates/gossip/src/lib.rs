@@ -77,6 +77,13 @@ pub struct PeerAdvert {
     /// Height of the latest state snapshot the peer can serve, per
     /// channel (provider advertisement for catch-up).
     pub snapshots: Vec<(ChannelId, u64)>,
+    /// Remaining deliver credits per channel — how many more blocks the
+    /// peer's validation intake can absorb right now (see the peer
+    /// layer's `DeliverMux`). Zero marks a saturated channel: providers
+    /// skip pushing its blocks there and let pull/backfill resume once
+    /// credits reappear. Channels absent from the list are assumed to
+    /// have headroom (older peers don't advertise credits).
+    pub credits: Vec<(ChannelId, u64)>,
 }
 
 /// Gossip protocol messages.
@@ -161,6 +168,10 @@ struct Member {
     delivered: HashMap<ChannelId, u64>,
     /// Snapshot heights the peer advertises as a provider, per channel.
     snapshots: HashMap<ChannelId, u64>,
+    /// Deliver credits the peer last advertised, per channel. Unlike the
+    /// heights this is *not* monotone, so it is only overwritten by a
+    /// fresher heartbeat.
+    credits: HashMap<ChannelId, u64>,
 }
 
 impl Member {
@@ -171,6 +182,7 @@ impl Member {
             last_heard: 0,
             delivered: HashMap::new(),
             snapshots: HashMap::new(),
+            credits: HashMap::new(),
         }
     }
 
@@ -195,6 +207,9 @@ pub struct GossipNode {
     delivered: HashMap<ChannelId, u64>,
     /// Snapshot heights this node itself can serve, per channel.
     my_snapshots: HashMap<ChannelId, u64>,
+    /// Deliver credits this node's own intake currently has, per channel
+    /// (driver-fed from `DeliverMux::credits`). Absent = unbounded.
+    my_credits: HashMap<ChannelId, u64>,
     channels: Vec<ChannelId>,
 }
 
@@ -229,8 +244,25 @@ impl GossipNode {
             store: HashMap::new(),
             delivered: HashMap::new(),
             my_snapshots: HashMap::new(),
+            my_credits: HashMap::new(),
             channels,
         }
+    }
+
+    /// Updates this node's advertised deliver credits for `channel` (the
+    /// driver reads them off its `DeliverMux` after each deliver/commit
+    /// batch). Zero throttles the node's own pull traffic for the channel
+    /// — pull probes and leader orderer-pulls are suppressed until
+    /// credits return — and, once heartbeated out, steers providers'
+    /// pushes elsewhere.
+    pub fn set_deliver_credits(&mut self, channel: &ChannelId, credits: u64) {
+        self.my_credits.insert(channel.clone(), credits);
+    }
+
+    /// The deliver credits `peer` last advertised for `channel` (`None`
+    /// if unknown, which providers treat as headroom).
+    pub fn peer_credits(&self, peer: PeerId, channel: &ChannelId) -> Option<u64> {
+        self.members.get(&peer)?.credits.get(channel).copied()
     }
 
     /// Advertises this node as a snapshot provider for `channel` at
@@ -354,6 +386,11 @@ impl GossipNode {
                     if advert.heartbeat > entry.heartbeat {
                         entry.heartbeat = advert.heartbeat;
                         entry.last_heard = self.now;
+                        // Credits go up *and down*; only a fresher
+                        // heartbeat may overwrite them.
+                        for (channel, credits) in advert.credits {
+                            entry.credits.insert(channel, credits);
+                        }
                     }
                     // Heights are monotone; merge regardless of freshness.
                     for (channel, height) in advert.delivered {
@@ -382,7 +419,7 @@ impl GossipNode {
         self.now += 1;
         let mut out = Vec::new();
         // Membership dissemination.
-        if self.now % self.config.membership_interval == 0 {
+        if self.now.is_multiple_of(self.config.membership_interval) {
             let mut view = vec![PeerAdvert {
                 peer: self.id,
                 org: self.org.clone(),
@@ -393,6 +430,7 @@ impl GossipNode {
                     .iter()
                     .map(|(c, &h)| (c.clone(), h))
                     .collect(),
+                credits: self.my_credits.iter().map(|(c, &n)| (c.clone(), n)).collect(),
             }];
             for (&peer, member) in &self.members {
                 if self.now.saturating_sub(member.last_heard) < self.config.member_timeout {
@@ -402,6 +440,7 @@ impl GossipNode {
                         heartbeat: member.heartbeat,
                         delivered: member.delivered.iter().map(|(c, &h)| (c.clone(), h)).collect(),
                         snapshots: member.snapshots.iter().map(|(c, &h)| (c.clone(), h)).collect(),
+                        credits: member.credits.iter().map(|(c, &n)| (c.clone(), n)).collect(),
                     });
                 }
             }
@@ -417,9 +456,14 @@ impl GossipNode {
         // Pull probes: prefer peers that can actually fill our gap —
         // known to be ahead of `have`, or of unknown height. Probing a
         // peer known to be at or behind our watermark cannot help.
-        if self.now % self.config.pull_interval == 0 {
+        if self.now.is_multiple_of(self.config.pull_interval) {
             let channels = self.channels.clone();
             for channel in channels {
+                // A saturated channel (zero deliver credits) must not
+                // invite more blocks it cannot absorb.
+                if self.my_credits.get(&channel) == Some(&0) {
+                    continue;
+                }
                 let have = self.delivered_height(&channel);
                 let useful = self.sample_peers(1, |_, m| {
                     m.delivered.get(&channel).is_none_or(|&h| h > have)
@@ -435,10 +479,15 @@ impl GossipNode {
                 }
             }
         }
-        // Leader duty: ask the driver to pull from the ordering service.
+        // Leader duty: ask the driver to pull from the ordering service —
+        // except on channels whose own intake is saturated (backpressure
+        // reaches all the way to the ordering service).
         if self.is_org_leader() {
             let channels = self.channels.clone();
             for channel in channels {
+                if self.my_credits.get(&channel) == Some(&0) {
+                    continue;
+                }
                 let next = self.delivered_height(&channel) + 1;
                 out.push(GossipOutput::PullFromOrderer { channel, next });
             }
@@ -481,10 +530,16 @@ impl GossipNode {
         // there is guaranteed-wasted bandwidth. Sampling first and
         // filtering after would also bias the fanout: slots spent on
         // excluded peers would be lost instead of going to peers that
-        // still need the block.
+        // still need the block. Peers advertising zero deliver credits
+        // for the channel are skipped too: their intake is saturated and
+        // would refuse or park the block, so the fanout slot serves a
+        // peer with headroom instead (they catch up by pull once their
+        // credits return).
         if self.config.push_enabled {
             let targets = self.sample_peers(self.config.fanout, |id, m| {
-                Some(id) != from && m.delivered.get(channel).is_none_or(|&h| h < block_num)
+                Some(id) != from
+                    && m.delivered.get(channel).is_none_or(|&h| h < block_num)
+                    && m.credits.get(channel).is_none_or(|&c| c > 0)
             });
             for target in targets {
                 out.push(GossipOutput::Send {
@@ -897,6 +952,122 @@ mod tests {
             overlay.nodes[1].snapshot_providers(&channel()),
             vec![(3, 24), (1, 16)]
         );
+    }
+
+    #[test]
+    fn zero_credit_channel_suppresses_own_pull_traffic() {
+        let config = GossipConfig {
+            pull_interval: 1,
+            membership_interval: 1000, // isolate pull/orderer traffic
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::new(1, "A", &[(2, "A".into())], vec![channel()], config, 1);
+        node.tick();
+        node.step(2, GossipMessage::Membership { alive: vec![] });
+        assert!(node.is_org_leader());
+
+        node.set_deliver_credits(&channel(), 0);
+        for _ in 0..5 {
+            for output in node.tick() {
+                assert!(
+                    !matches!(
+                        output,
+                        GossipOutput::Send {
+                            message: GossipMessage::PullRequest { .. },
+                            ..
+                        } | GossipOutput::PullFromOrderer { .. }
+                    ),
+                    "saturated channel invited more blocks: {output:?}"
+                );
+            }
+        }
+
+        // Credits return: pull probes and leader orderer-pulls resume.
+        node.set_deliver_credits(&channel(), 8);
+        let (mut pulls, mut orderer) = (0, 0);
+        for _ in 0..5 {
+            for output in node.tick() {
+                match output {
+                    GossipOutput::Send {
+                        message: GossipMessage::PullRequest { .. },
+                        ..
+                    } => pulls += 1,
+                    GossipOutput::PullFromOrderer { .. } => orderer += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(pulls > 0 && orderer > 0);
+    }
+
+    #[test]
+    fn push_skips_peers_advertising_zero_credits() {
+        let config = GossipConfig {
+            fanout: 10,
+            ..GossipConfig::default()
+        };
+        let bootstrap: Vec<(PeerId, String)> =
+            (2..=4).map(|id| (id, "A".to_string())).collect();
+        let mut node = GossipNode::new(1, "A", &bootstrap, vec![channel()], config, 1);
+        node.tick();
+        for peer in 2..=4 {
+            node.step(peer, GossipMessage::Membership { alive: vec![] });
+        }
+        let advert = |heartbeat, credits| PeerAdvert {
+            peer: 2,
+            org: "A".into(),
+            heartbeat,
+            delivered: vec![],
+            snapshots: vec![],
+            credits: vec![(channel(), credits)],
+        };
+        // Peer 2 heartbeats a saturated intake for the channel.
+        node.step(
+            3,
+            GossipMessage::Membership {
+                alive: vec![advert(5, 0)],
+            },
+        );
+        assert_eq!(node.peer_credits(2, &channel()), Some(0));
+        // A *stale* heartbeat claiming headroom must not win: credits are
+        // non-monotone, freshness decides.
+        node.step(
+            3,
+            GossipMessage::Membership {
+                alive: vec![advert(4, 9)],
+            },
+        );
+        assert_eq!(node.peer_credits(2, &channel()), Some(0));
+
+        let push_targets = |out: &[GossipOutput]| -> Vec<PeerId> {
+            let mut t: Vec<PeerId> = out
+                .iter()
+                .filter_map(|o| match o {
+                    GossipOutput::Send {
+                        to,
+                        message: GossipMessage::BlockPush { .. },
+                    } => Some(*to),
+                    _ => None,
+                })
+                .collect();
+            t.sort_unstable();
+            t
+        };
+        let out = node.on_block_from_orderer(&channel(), 1, vec![1]);
+        assert_eq!(
+            push_targets(&out),
+            vec![3, 4],
+            "fanout slots went to peers with headroom"
+        );
+        // A fresher heartbeat restores peer 2's credits; pushes resume.
+        node.step(
+            3,
+            GossipMessage::Membership {
+                alive: vec![advert(6, 4)],
+            },
+        );
+        let out = node.on_block_from_orderer(&channel(), 2, vec![2]);
+        assert_eq!(push_targets(&out), vec![2, 3, 4]);
     }
 
     #[test]

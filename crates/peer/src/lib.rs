@@ -15,11 +15,11 @@ pub mod view;
 
 pub use committer::{Committer, ValidationTiming};
 pub use endorser::Endorser;
-pub use intake::DeliverMux;
+pub use intake::{Deliver, DeliverMux, MuxGauges};
 pub use peer::{Peer, PeerConfig};
 pub use pipeline::{
     CommitEvent, DependencyMode, PipelineHandle, PipelineManager, PipelineOptions, PipelineStats,
-    QueueGauges, StageHistogram, StageSummary,
+    QueueGauges, SchedulerPolicy, StageHistogram, StageSummary,
 };
 pub use view::ChannelView;
 

@@ -241,7 +241,10 @@ impl Peer {
 
     /// Starts a pipelined committer attached to a shared VSCC worker
     /// pool, so several channels' pipelines can run on one peer without
-    /// a stalled channel idling the validation cores.
+    /// a stalled channel idling the validation cores. The pool serves
+    /// channels by weighted deficit round-robin
+    /// (`opts.scheduler_weight`), so a sparse channel is never starved
+    /// behind a sibling's backlog.
     pub fn pipeline_shared(
         &self,
         pool: &crate::pipeline::PipelineManager,

@@ -25,7 +25,13 @@
 //! * The **VSCC worker pool** ([`PipelineManager`]) is persistent and
 //!   global: workers pull chunks from *any* admitted block of *any*
 //!   attached channel, so a slow or barrier-stalled channel never idles
-//!   the cores serving the others.
+//!   the cores serving the others. Which channel's chunk a freed worker
+//!   picks is decided by an explicit cross-channel scheduler
+//!   ([`SchedulerPolicy`], default weighted deficit-round-robin): each
+//!   channel keeps its own chunk queue and earns `quantum × weight`
+//!   transactions of service per round, so a channel behind a sibling's
+//!   256-block backlog is served within one round instead of behind the
+//!   whole backlog (the FIFO policy survives for comparison benchmarks).
 //! * Each channel's **sequencer** restores strict block order with a
 //!   reorder buffer and runs the stages that must stay sequential: MVCC
 //!   rw-check, metadata flags, ledger append (savepoint), and config view
@@ -78,7 +84,7 @@
 //! the versions/range-contents/tx-id set of the keys it touches — all
 //! proven unchanged.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -110,6 +116,209 @@ pub enum DependencyMode {
     KeyLevel,
 }
 
+/// How the shared pool's freed workers pick the next VSCC chunk across
+/// the attached channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Serve chunks in global arrival order. A channel with a deep
+    /// backlog monopolizes the pool and starves sparse siblings; kept
+    /// for comparison benchmarks (the pre-scheduler behaviour).
+    Fifo,
+    /// Weighted deficit-round-robin over channels. Per round, a channel
+    /// earns `quantum × weight` transactions worth of service and its
+    /// chunks are served while the deficit lasts. A channel waking from
+    /// idle re-enters at the *head* of the round with a full quantum, so
+    /// a sparse channel's chunk starts as soon as a worker frees — its
+    /// latency is bounded by one in-flight chunk plus its own work, not
+    /// by a sibling's backlog.
+    Drr {
+        /// Transactions a weight-1 channel may validate per round.
+        quantum: u32,
+    },
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        SchedulerPolicy::Drr { quantum: 32 }
+    }
+}
+
+/// One queued work item with its service cost (transactions) and global
+/// arrival sequence (for the FIFO policy).
+struct SchedEntry<T> {
+    cost: u64,
+    seq: u64,
+    item: T,
+}
+
+/// One channel's chunk queue plus its DRR bookkeeping.
+struct SchedQueue<T> {
+    tasks: VecDeque<SchedEntry<T>>,
+    weight: u32,
+    deficit: u64,
+}
+
+struct SchedState<T> {
+    queues: HashMap<u64, SchedQueue<T>>,
+    /// Slots with queued work, in round-robin order (head = being served).
+    active: VecDeque<u64>,
+    next_slot: u64,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The cross-channel task scheduler behind a [`PipelineManager`]: one
+/// bounded-state queue per registered channel, served to the pool workers
+/// under a [`SchedulerPolicy`]. Generic over the item type so the
+/// scheduling logic is unit-testable without building blocks.
+pub(crate) struct Scheduler<T> {
+    policy: SchedulerPolicy,
+    state: Mutex<SchedState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Scheduler<T> {
+    fn new(policy: SchedulerPolicy) -> Self {
+        Scheduler {
+            policy,
+            state: Mutex::new(SchedState {
+                queues: HashMap::new(),
+                active: VecDeque::new(),
+                next_slot: 0,
+                next_seq: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a channel with the given DRR weight, returning its slot.
+    fn register(&self, weight: u32) -> u64 {
+        let mut state = self.state.lock();
+        let slot = state.next_slot;
+        state.next_slot += 1;
+        state.queues.insert(
+            slot,
+            SchedQueue {
+                tasks: VecDeque::new(),
+                weight: weight.max(1),
+                deficit: 0,
+            },
+        );
+        slot
+    }
+
+    /// Removes a channel's queue, dropping any still-queued items. Only
+    /// legal once the channel's pipeline has stopped (graceful close
+    /// drains the queue first; abort abandons the items on purpose).
+    fn deregister(&self, slot: u64) {
+        let mut state = self.state.lock();
+        state.queues.remove(&slot);
+        state.active.retain(|s| *s != slot);
+    }
+
+    /// Queues one item for `slot`, returning the queue depth after the
+    /// push (a per-channel queue gauge), or `None` if the scheduler is
+    /// closed or the slot deregistered.
+    fn submit(&self, slot: u64, cost: u64, item: T) -> Option<usize> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return None;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let queue = state.queues.get_mut(&slot)?;
+        let was_empty = queue.tasks.is_empty();
+        queue.tasks.push_back(SchedEntry { cost, seq, item });
+        let depth = queue.tasks.len();
+        if was_empty {
+            // Waking from idle: grant a full quantum and enter at the
+            // head of the round, so sparse traffic is served ahead of a
+            // sibling's standing backlog.
+            if let SchedulerPolicy::Drr { quantum } = self.policy {
+                queue.deficit = u64::from(quantum.max(1)) * u64::from(queue.weight);
+            }
+            state.active.push_front(slot);
+        }
+        self.cv.notify_one();
+        Some(depth)
+    }
+
+    /// Blocks until an item is schedulable (or the scheduler is closed
+    /// *and* drained, returning `None`). Workers call this in a loop.
+    fn next(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = Self::dequeue(self.policy, &mut state) {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    fn dequeue(policy: SchedulerPolicy, state: &mut SchedState<T>) -> Option<T> {
+        match policy {
+            SchedulerPolicy::Fifo => {
+                let slot = state
+                    .active
+                    .iter()
+                    .copied()
+                    .min_by_key(|slot| {
+                        state.queues[slot].tasks.front().map_or(u64::MAX, |e| e.seq)
+                    })?;
+                let queue = state.queues.get_mut(&slot).expect("active slot registered");
+                let entry = queue.tasks.pop_front().expect("active queue non-empty");
+                if queue.tasks.is_empty() {
+                    state.active.retain(|s| *s != slot);
+                }
+                Some(entry.item)
+            }
+            SchedulerPolicy::Drr { quantum } => {
+                state.active.front()?;
+                // Terminates: every full rotation adds at least `quantum`
+                // to each visited deficit, and chunk costs are finite.
+                loop {
+                    let slot = *state.active.front().expect("checked non-empty");
+                    let queue = state.queues.get_mut(&slot).expect("active slot registered");
+                    let cost = queue
+                        .tasks
+                        .front()
+                        .expect("active queue non-empty")
+                        .cost
+                        .max(1);
+                    if queue.deficit >= cost {
+                        queue.deficit -= cost;
+                        let entry = queue.tasks.pop_front().expect("checked front");
+                        if queue.tasks.is_empty() {
+                            // Anti-hoarding: an emptied queue forfeits its
+                            // leftover deficit.
+                            queue.deficit = 0;
+                            state.active.pop_front();
+                        }
+                        return Some(entry.item);
+                    }
+                    queue.deficit += u64::from(quantum.max(1)) * u64::from(queue.weight);
+                    let slot = state.active.pop_front().expect("checked non-empty");
+                    state.active.push_back(slot);
+                }
+            }
+        }
+    }
+
+    /// Stops accepting new items and wakes every worker; queued items are
+    /// still served until drained.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
 /// Pipeline construction knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineOptions {
@@ -131,6 +340,22 @@ pub struct PipelineOptions {
     pub dependency_mode: DependencyMode,
     /// Pre-run rw-checks for blocks parked in the reorder buffer.
     pub speculative_rw_check: bool,
+    /// This channel's DRR weight in a shared pool's scheduler: per round
+    /// it earns `quantum × weight` transactions of VSCC service relative
+    /// to its siblings. Ignored by single-channel pipelines. Clamped to
+    /// ≥ 1.
+    pub scheduler_weight: u32,
+    /// Deliver credit window ([`crate::DeliverMux`]): how many blocks may
+    /// be in flight (submitted but not committed) before the mux parks
+    /// further deliveries and reports zero credits to gossip. Clamped to
+    /// `1..=intake_capacity` so a deliver never blocks on a full intake
+    /// queue.
+    pub deliver_credits: usize,
+    /// How many blocks ahead of the channel head the mux parks
+    /// out-of-order deliveries for in-order re-admission (gossip pushes
+    /// racing pulls); beyond the window a delivery is refused as
+    /// saturated. Clamped to ≥ 1.
+    pub park_window: usize,
 }
 
 impl Default for PipelineOptions {
@@ -141,6 +366,9 @@ impl Default for PipelineOptions {
             vscc_chunk_target: Duration::from_micros(500),
             dependency_mode: DependencyMode::KeyLevel,
             speculative_rw_check: true,
+            scheduler_weight: 1,
+            deliver_credits: 32,
+            park_window: 32,
         }
     }
 }
@@ -274,7 +502,8 @@ pub struct StageSummary {
 pub struct QueueGauges {
     /// Intake queue (delivered blocks waiting for admission).
     pub intake_peak: usize,
-    /// VSCC chunk-task queue feeding the worker pool.
+    /// This channel's chunk queue in the pool's cross-channel scheduler
+    /// (deepest it ever got right after a dispatch).
     pub vscc_tasks_peak: usize,
     /// Sequencer reorder buffer (VSCC-done blocks awaiting their turn).
     pub reorder_peak: usize,
@@ -473,7 +702,7 @@ struct VsccJob {
 }
 
 /// One chunk of a block's envelopes for a pool worker.
-struct VsccTask {
+pub(crate) struct VsccTask {
     job: Arc<VsccJob>,
     start: usize,
     len: usize,
@@ -566,33 +795,41 @@ impl BlockProfile {
 /// The global persistent VSCC worker pool, shared by every channel
 /// pipeline attached through [`Committer::pipeline_in`].
 ///
-/// Close (or drop) the manager only after closing every attached
-/// [`PipelineHandle`]: the workers exit when all attached admitters have
-/// released their task senders, so closing the pool first would block on
-/// a still-running channel.
+/// Freed workers pick their next chunk through the pool's cross-channel
+/// [`Scheduler`] (policy fixed at construction, weighted
+/// deficit-round-robin by default), so one channel's backlog cannot
+/// monopolize the pool. Close (or drop) the manager only after closing
+/// every attached [`PipelineHandle`]: closing first abandons the
+/// channels' queued chunks mid-block.
 pub struct PipelineManager {
-    task_tx: Option<Sender<VsccTask>>,
+    sched: Arc<Scheduler<VsccTask>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl PipelineManager {
-    /// Spawns a pool of `vscc_workers` persistent workers (at least one).
+    /// Spawns a pool of `vscc_workers` persistent workers (at least one)
+    /// under the default scheduling policy (DRR, equal weights unless the
+    /// channels' [`PipelineOptions::scheduler_weight`] say otherwise).
     pub fn new(vscc_workers: usize) -> Self {
+        Self::with_policy(vscc_workers, SchedulerPolicy::default())
+    }
+
+    /// Spawns a pool with an explicit cross-channel scheduling policy
+    /// ([`SchedulerPolicy::Fifo`] reproduces the pre-scheduler behaviour
+    /// for comparison benchmarks).
+    pub fn with_policy(vscc_workers: usize, policy: SchedulerPolicy) -> Self {
         let width = vscc_workers.max(1);
-        let (task_tx, task_rx) = unbounded::<VsccTask>();
+        let sched = Arc::new(Scheduler::new(policy));
         let workers = (0..width)
             .map(|i| {
-                let task_rx = task_rx.clone();
+                let sched = sched.clone();
                 std::thread::Builder::new()
                     .name(format!("vscc-worker-{i}"))
-                    .spawn(move || vscc_worker(&task_rx))
+                    .spawn(move || vscc_worker(&sched))
                     .expect("spawn vscc worker")
             })
             .collect();
-        PipelineManager {
-            task_tx: Some(task_tx),
-            workers,
-        }
+        PipelineManager { sched, workers }
     }
 
     /// Pool width (the even-split chunk floor for attached channels).
@@ -600,17 +837,18 @@ impl PipelineManager {
         self.workers.len()
     }
 
-    fn sender(&self) -> Sender<VsccTask> {
-        self.task_tx.as_ref().expect("pool open").clone()
+    pub(crate) fn scheduler(&self) -> Arc<Scheduler<VsccTask>> {
+        self.sched.clone()
     }
 
-    /// Shuts the pool down, joining the workers.
+    /// Shuts the pool down: drains already-queued chunks, then joins the
+    /// workers.
     pub fn close(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
-        drop(self.task_tx.take());
+        self.sched.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -673,13 +911,15 @@ impl Committer {
         });
 
         let (intake_tx, intake_rx) = bounded::<Block>(opts.intake_capacity.max(1));
-        let task_tx = pool.sender();
+        let sched = pool.scheduler();
+        let slot = sched.register(opts.scheduler_weight);
         let (done_tx, done_rx) = unbounded::<CompletedVscc>();
         let (event_tx, event_rx) = unbounded::<CommitEvent>();
 
         let mut threads = Vec::with_capacity(2);
         {
             let shared = shared.clone();
+            let sched = sched.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("commit-admitter".into())
@@ -687,7 +927,7 @@ impl Committer {
                         admitter(
                             &shared,
                             &intake_rx,
-                            &task_tx,
+                            (&sched, slot),
                             &done_tx,
                             workers,
                             opts.vscc_chunk_target,
@@ -712,14 +952,16 @@ impl Committer {
             intake: Some(intake_tx),
             events: event_rx,
             threads,
+            sched: Some((sched, slot)),
             pool: None,
         }
     }
 }
 
-/// Pool worker: validate chunks from any admitted block of any channel.
-fn vscc_worker(tasks: &Receiver<VsccTask>) {
-    while let Ok(task) = tasks.recv() {
+/// Pool worker: validate chunks from any admitted block of any channel,
+/// in the order the pool's cross-channel scheduler hands them out.
+fn vscc_worker(sched: &Scheduler<VsccTask>) {
+    while let Some(task) = sched.next() {
         let job = &task.job;
         let shared = &job.shared;
         if !shared.is_stopped() && task.len > 0 {
@@ -758,10 +1000,12 @@ fn vscc_worker(tasks: &Receiver<VsccTask>) {
 }
 
 /// Admission thread: order check, dependency stalls, chunk dispatch.
+/// `(sched, slot)` is the channel's registered queue in the shared
+/// pool's cross-channel scheduler.
 fn admitter(
     shared: &Arc<Shared>,
     intake: &Receiver<Block>,
-    tasks: &Sender<VsccTask>,
+    (sched, slot): (&Scheduler<VsccTask>, u64),
     done: &Sender<CompletedVscc>,
     workers: usize,
     chunk_target: Duration,
@@ -848,6 +1092,7 @@ fn admitter(
             remaining: AtomicUsize::new(n_tasks),
             dispatched: Instant::now(),
         });
+        let mut queue_depth = 0;
         if n == 0 {
             if done
                 .send(CompletedVscc {
@@ -860,20 +1105,22 @@ fn admitter(
             }
         } else {
             for start in (0..n).step_by(chunk) {
+                let len = chunk.min(n - start);
                 let task = VsccTask {
                     job: job.clone(),
                     start,
-                    len: chunk.min(n - start),
+                    len,
                 };
-                if tasks.send(task).is_err() {
-                    break 'accept;
+                match sched.submit(slot, len as u64, task) {
+                    Some(depth) => queue_depth = queue_depth.max(depth),
+                    None => break 'accept,
                 }
             }
         }
 
         let mut stats = shared.stats.lock();
         stats.queues.intake_peak = stats.queues.intake_peak.max(intake.len());
-        stats.queues.vscc_tasks_peak = stats.queues.vscc_tasks_peak.max(tasks.len());
+        stats.queues.vscc_tasks_peak = stats.queues.vscc_tasks_peak.max(queue_depth);
         if n > 0 {
             stats.queues.chunk_min = if stats.queues.chunk_min == 0 {
                 chunk
@@ -883,9 +1130,10 @@ fn admitter(
             stats.queues.chunk_max = stats.queues.chunk_max.max(chunk);
         }
     }
-    // Dropping this channel's task/done senders lets the pool and the
-    // sequencer drain what was dispatched; the pool itself stays up for
-    // the other channels.
+    // Dropping this channel's done sender lets the sequencer drain what
+    // was dispatched once the pool works through the channel's queued
+    // chunks; the pool itself stays up for the other channels. The
+    // scheduler slot is deregistered by the handle after the drain.
 }
 
 /// A speculative rw-check computed while the block waited in the reorder
@@ -1150,6 +1398,9 @@ pub struct PipelineHandle {
     intake: Option<Sender<Block>>,
     events: Receiver<CommitEvent>,
     threads: Vec<JoinHandle<()>>,
+    /// This channel's slot in the pool's cross-channel scheduler, held so
+    /// close/abort can deregister it (dropping any queued chunks).
+    sched: Option<(Arc<Scheduler<VsccTask>>, u64)>,
     /// The privately owned pool, when built via [`Committer::pipeline`];
     /// `None` for channels attached to a shared [`PipelineManager`].
     pool: Option<PipelineManager>,
@@ -1222,6 +1473,11 @@ impl PipelineHandle {
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
+        // The sequencer only exits once every dispatched chunk completed,
+        // so the channel's scheduler queue is empty here.
+        if let Some((sched, slot)) = self.sched.take() {
+            sched.deregister(slot);
+        }
         if let Some(pool) = self.pool.take() {
             pool.close();
         }
@@ -1237,6 +1493,12 @@ impl PipelineHandle {
     pub fn abort(mut self) {
         self.shared.halt();
         drop(self.intake.take());
+        // Deregister before joining: dropping the channel's queued chunks
+        // releases their done senders, so the sequencer's recv unblocks
+        // even if no worker ever picks them up.
+        if let Some((sched, slot)) = self.sched.take() {
+            sched.deregister(slot);
+        }
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
@@ -1259,6 +1521,9 @@ impl Drop for PipelineHandle {
         drop(self.intake.take());
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        if let Some((sched, slot)) = self.sched.take() {
+            sched.deregister(slot);
         }
         if let Some(pool) = self.pool.take() {
             pool.close();
@@ -1340,6 +1605,94 @@ mod tests {
         // uniform 0..n ramp must land in the top quarter of the range.
         assert!(histogram.percentile(99.0) >= Duration::from_micros(3 * n / 4));
         assert!(histogram.percentile(99.0) <= Duration::from_micros(n - 1));
+    }
+
+    #[test]
+    fn drr_serves_waking_channel_ahead_of_standing_backlog() {
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::Drr { quantum: 4 });
+        let busy = sched.register(1);
+        for i in 0..100 {
+            sched.submit(busy, 1, i).unwrap();
+        }
+        assert_eq!(sched.next(), Some(0));
+        assert_eq!(sched.next(), Some(1));
+        // A channel waking from idle enters at the head of the round with
+        // a fresh quantum: its item is served next, not behind the other
+        // 98 queued items.
+        let sparse = sched.register(1);
+        sched.submit(sparse, 1, 1000).unwrap();
+        assert_eq!(sched.next(), Some(1000));
+        assert_eq!(sched.next(), Some(2), "backlog resumes after the visit");
+    }
+
+    #[test]
+    fn drr_shares_service_by_weight() {
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::Drr { quantum: 2 });
+        let light = sched.register(1);
+        let heavy = sched.register(3);
+        for i in 0..20 {
+            sched.submit(light, 1, i).unwrap();
+            sched.submit(heavy, 1, 100 + i).unwrap();
+        }
+        let mut heavy_served = 0;
+        for _ in 0..16 {
+            if sched.next().unwrap() >= 100 {
+                heavy_served += 1;
+            }
+        }
+        // quantum × weight per round: 6 heavy for every 2 light.
+        assert_eq!(heavy_served, 12);
+    }
+
+    #[test]
+    fn drr_deficit_covers_multi_tx_chunks() {
+        // A chunk costing more than one round's quantum must still be
+        // served (deficit accumulates across rounds, never starves).
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::Drr { quantum: 2 });
+        let a = sched.register(1);
+        let b = sched.register(1);
+        sched.submit(a, 7, 1).unwrap();
+        sched.submit(a, 1, 2).unwrap();
+        sched.submit(b, 1, 10).unwrap();
+        let served: Vec<u32> = (0..3).map(|_| sched.next().unwrap()).collect();
+        assert_eq!(served, vec![10, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_policy_preserves_global_arrival_order() {
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::Fifo);
+        let a = sched.register(1);
+        let b = sched.register(5); // weights are ignored under FIFO
+        sched.submit(a, 1, 0).unwrap();
+        sched.submit(b, 9, 1).unwrap();
+        sched.submit(a, 1, 2).unwrap();
+        sched.submit(b, 1, 3).unwrap();
+        let served: Vec<u32> = (0..4).map(|_| sched.next().unwrap()).collect();
+        assert_eq!(served, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scheduler_close_drains_queued_then_ends() {
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::default());
+        let slot = sched.register(1);
+        sched.submit(slot, 1, 7).unwrap();
+        sched.close();
+        assert_eq!(sched.submit(slot, 1, 8), None, "closed for new work");
+        assert_eq!(sched.next(), Some(7), "queued work still drains");
+        assert_eq!(sched.next(), None);
+    }
+
+    #[test]
+    fn scheduler_deregister_drops_queue_and_refuses_submits() {
+        let sched: Scheduler<u32> = Scheduler::new(SchedulerPolicy::default());
+        let gone = sched.register(1);
+        let live = sched.register(1);
+        assert_eq!(sched.submit(gone, 1, 1), Some(1), "depth gauge");
+        assert_eq!(sched.submit(gone, 1, 2), Some(2));
+        sched.deregister(gone);
+        assert_eq!(sched.submit(gone, 1, 3), None);
+        sched.submit(live, 1, 42).unwrap();
+        assert_eq!(sched.next(), Some(42), "dropped queue never surfaces");
     }
 
     #[test]

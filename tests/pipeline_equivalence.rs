@@ -7,10 +7,11 @@
 mod common;
 
 use common::PipelineWorld;
-use fabric::peer::{Peer, PipelineManager, PipelineOptions};
+use fabric::peer::{Deliver, DeliverMux, Peer, PipelineManager, PipelineOptions};
 use fabric::primitives::block::Block;
-use fabric::primitives::ids::{TxValidationCode, Version};
+use fabric::primitives::ids::{ChannelId, TxValidationCode, Version};
 use fabric::primitives::transaction::Envelope;
+use fabric::primitives::wire::Wire;
 use proptest::prelude::*;
 
 /// Commits `blocks` sequentially, returning the per-block validity masks.
@@ -202,6 +203,101 @@ proptest! {
         pool.close();
 
         for (channel, events) in events.into_iter().enumerate() {
+            let mut masks = Vec::with_capacity(world.blocks.len());
+            let mut expected_num = world.blocks[0].header.number;
+            while let Ok(event) = events.try_recv() {
+                prop_assert_eq!(event.block_num, expected_num, "events in block order");
+                expected_num += 1;
+                masks.push(event.validity);
+            }
+            prop_assert_eq!(&masks, &masks_seq, "channel {} masks diverge", channel);
+            assert_ledgers_equal(&sequential, &peers[channel]);
+        }
+    }
+
+    /// Scheduling must never change results: the same two-channel race,
+    /// but routed through a `DeliverMux` with proptest-chosen DRR weights
+    /// and credit windows. Tiny windows (1..=3) against a small parking
+    /// buffer force genuine credit-exhaustion stalls and `Saturated`
+    /// refusals mid-stream; whatever the scheduler and backpressure do,
+    /// each channel's masks and final state must stay byte-identical to
+    /// the sequential reference.
+    #[test]
+    fn mux_equivalent_under_random_weights_and_credits(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 6..24),
+        interleave in prop::collection::vec(any::<u8>(), 64),
+        weights in prop::array::uniform2(1u32..=4),
+        credits in prop::array::uniform2(1usize..=3),
+    ) {
+        let mut world = PipelineWorld::new();
+        build_op_blocks(&mut world, &ops);
+
+        let sequential = world.replica("seq.org1", 2);
+        let masks_seq = commit_sequential(&sequential, &world.blocks);
+
+        let mux = DeliverMux::new(3);
+        let chans = [ChannelId::new("chan-a"), ChannelId::new("chan-b")];
+        let peers = [world.replica("chan-a.org1", 2), world.replica("chan-b.org1", 2)];
+        for channel in 0..2 {
+            mux.attach(chans[channel].clone(), &peers[channel], PipelineOptions {
+                intake_capacity: 4,
+                speculative_rw_check: true,
+                scheduler_weight: weights[channel],
+                deliver_credits: credits[channel],
+                park_window: 4,
+                ..PipelineOptions::default()
+            }).expect("channel attaches");
+        }
+        let events = [
+            mux.events(&chans[0]).expect("channel A events"),
+            mux.events(&chans[1]).expect("channel B events"),
+        ];
+
+        let wire: Vec<Vec<u8>> = world.blocks.iter().map(Wire::to_wire).collect();
+        let mut next = [0usize; 2];
+        // Race the channels' in-order deliveries; a `Saturated` refusal
+        // (parking buffer full behind an exhausted credit window) leaves
+        // the cursor in place — the block is re-offered later, exactly
+        // like a backing-off gossip provider.
+        let offer = |channel: usize, next: &mut [usize; 2]| -> Result<(), TestCaseError> {
+            if next[channel] >= wire.len() {
+                return Ok(());
+            }
+            let number = world.blocks[next[channel]].header.number;
+            match mux.deliver(&chans[channel], number, &wire[next[channel]])
+                .expect("in-order delivery never errors")
+            {
+                Deliver::Submitted | Deliver::Parked => next[channel] += 1,
+                Deliver::Saturated => {
+                    mux.pump(&chans[channel]).expect("pump after refusal");
+                }
+                Deliver::Duplicate => prop_assert!(false, "first delivery misread as duplicate"),
+            }
+            Ok(())
+        };
+        for &choice in &interleave {
+            offer((choice % 2) as usize, &mut next)?;
+        }
+        // Drain the stragglers, waiting out credit stalls.
+        let final_height = world.blocks.last().expect("blocks nonempty").header.number + 1;
+        for channel in 0..2 {
+            while next[channel] < wire.len() {
+                let before = next[channel];
+                offer(channel, &mut next)?;
+                if next[channel] == before {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            mux.wait_committed(&chans[channel], final_height).expect("channel drains");
+        }
+        let stats = mux.close().expect("mux closes clean");
+
+        for (channel, events) in events.into_iter().enumerate() {
+            prop_assert_eq!(
+                stats[&chans[channel]].blocks as usize,
+                world.blocks.len(),
+                "every block committed exactly once"
+            );
             let mut masks = Vec::with_capacity(world.blocks.len());
             let mut expected_num = world.blocks[0].header.number;
             while let Ok(event) = events.try_recv() {
