@@ -4,15 +4,19 @@
 #  1. Tier-1 (ROADMAP.md): release build + full quiet test suite.
 #  2. The peer crate (committer + multi-channel pipeline) passes clippy
 #     with -D warnings and its unit tests pass on their own.
-#  3. The statesync crate passes clippy with -D warnings.
+#  3. The statesync and chaincode crates pass clippy with -D warnings
+#     (chaincode carries the pooled execution runtime this gate guards).
 #  4. The multi-channel test battery (cross-channel fairness, deliver
 #     credits, gap parking) re-runs under --release: the starvation
 #     regression measures real latencies, and release timing is what the
 #     acceptance bound is calibrated against.
-#  5. The snapshot catch-up and multi-channel overlap benches complete a
-#     smoke sweep (~15 s) — catches bit-rot in the snapshot wire path,
-#     the shared-pool pipeline manager, and the starved-channel DRR/FIFO
-#     scenario that unit tests alone might miss.
+#  5. The endorsement battery (equivalence proptests + fault injection)
+#     re-runs on its own so a tier-1 wobble can't mask it.
+#  6. The snapshot catch-up, multi-channel overlap, and endorsement
+#     overlap benches complete a smoke sweep (~20 s) — catches bit-rot in
+#     the snapshot wire path, the shared-pool pipeline manager, the
+#     starved-channel DRR/FIFO scenario, and the endorse-pipeline
+#     submit/sign path that unit tests alone might miss.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -43,6 +47,17 @@ else
     echo "clippy not installed; skipping lint gate"
 fi
 
+echo "== fabric-chaincode: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/chaincode/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-chaincode --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint gate"
+fi
+
+echo "== endorsement battery: equivalence + fault injection =="
+cargo test -q --test endorsement_equivalence --test endorsement_faults
+
 echo "== multi-channel test battery under --release =="
 cargo test -q --release --test multi_channel
 
@@ -51,5 +66,8 @@ FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench
 
 echo "== multi-channel overlap bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench multi_channel_overlap -p fabric-bench
+
+echo "== endorsement overlap bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench endorsement_overlap -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

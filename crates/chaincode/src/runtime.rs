@@ -3,19 +3,39 @@
 //!
 //! In Fabric every user chaincode runs in its own Docker container and
 //! talks to the peer over gRPC; the peer can kill a container that runs
-//! too long. Here each chaincode is a Rust object invoked on a dedicated
-//! worker thread; the architectural property preserved is the *interface*
+//! too long. Here each chaincode is a Rust object invoked on persistent
+//! worker threads; the architectural property preserved is the *interface*
 //! — all state access flows through the stub, and the endorser can
 //! unilaterally abandon an execution that exceeds its local deadline
 //! without endangering consistency (non-determinism and runaway loops
 //! only ever cost the transaction's own liveness).
+//!
+//! Two execution modes ([`ExecutionMode`]):
+//!
+//! * **Serialized** — one dedicated worker per chaincode name, the moral
+//!   equivalent of Fabric's one-container-per-chaincode deployment:
+//!   invocations of the same chaincode run one at a time.
+//! * **Pooled** — a shared pool of workers; invocations of the *same*
+//!   chaincode simulate concurrently, each against its own state
+//!   snapshot. This is what the endorsement pipeline runs on: simulation
+//!   is side-effect-free, so same-chaincode proposals parallelize freely.
+//!
+//! Deadline handling never leaks capacity: a worker stuck past the
+//! deadline is *replaced* (the pool spawns a substitute sharing the same
+//! job queue) and the overrun worker retires itself as soon as its
+//! invocation returns; retired threads are reaped on subsequent calls.
+//! A panicking chaincode is contained with `catch_unwind` and costs
+//! nothing but its own transaction.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use fabric_ledger::{Ledger, TxSimulator};
 use fabric_primitives::rwset::TxReadWriteSet;
@@ -63,18 +83,237 @@ impl ChaincodeRegistry {
     }
 }
 
+/// How deadline-guarded invocations are mapped onto worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One dedicated worker per chaincode name: invocations of the same
+    /// chaincode are serialized, as with one Docker container per
+    /// chaincode. The pre-pipeline behaviour; kept as the default and as
+    /// the baseline the equivalence tests compare against.
+    #[default]
+    Serialized,
+    /// A shared pool of execution workers: invocations of the same
+    /// chaincode run concurrently, each simulating against its own state
+    /// snapshot. `workers == 0` falls back to the host's parallelism.
+    Pooled {
+        /// Pool width.
+        workers: usize,
+    },
+}
+
 /// Execution policy for the runtime.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
-    /// Wall-clock budget per invocation. `None` runs inline without a
-    /// watchdog (fastest; used by benchmarks where chaincodes are trusted).
+    /// Wall-clock budget per invocation. `None` runs inline on the caller
+    /// thread without a watchdog (fastest; used by benchmarks where
+    /// chaincodes are trusted — and by the endorsement pipeline, whose own
+    /// workers then parallelize execution).
     pub exec_timeout: Option<Duration>,
+    /// Worker topology for deadline-guarded execution. Ignored when
+    /// `exec_timeout` is `None` (inline execution needs no workers).
+    pub mode: ExecutionMode,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
             exec_timeout: Some(Duration::from_secs(2)),
+            mode: ExecutionMode::Serialized,
+        }
+    }
+}
+
+/// One queued invocation: the closure to run plus the phase cell through
+/// which the submitting caller and the executing worker coordinate a
+/// deadline overrun.
+struct Job {
+    run: Box<dyn FnOnce() -> Result<ExecutionResult, ChaincodeError> + Send>,
+    result_tx: channel::Sender<Result<ExecutionResult, ChaincodeError>>,
+    state: Arc<JobPhase>,
+}
+
+/// The caller/worker overrun handshake: a four-state machine driven by
+/// compare-and-swap, so every transition has exactly one winner.
+///
+/// ```text
+///   PENDING ──worker──► RUNNING ──worker──► DONE
+///      │                   │
+///    caller              caller
+///      ▼                   ▼
+///  ABANDONED           ABANDONED  (caller spawns a replacement;
+///  (job skipped)                   worker retires on its failed
+///                                  RUNNING→DONE swap)
+/// ```
+///
+/// A replacement is spawned **iff** the caller wins the RUNNING→ABANDONED
+/// race, which is **iff** the worker loses its RUNNING→DONE swap and
+/// retires — replacements and retirements are always one-to-one, so the
+/// pool can neither leak threads nor sink below its target width.
+struct JobPhase(AtomicU8);
+
+const PHASE_PENDING: u8 = 0;
+const PHASE_RUNNING: u8 = 1;
+const PHASE_DONE: u8 = 2;
+const PHASE_ABANDONED: u8 = 3;
+
+impl JobPhase {
+    fn new() -> Arc<Self> {
+        Arc::new(JobPhase(AtomicU8::new(PHASE_PENDING)))
+    }
+
+    /// CAS `from` → `to`; true if this call won the transition.
+    fn advance(&self, from: u8, to: u8) -> bool {
+        self.0
+            .compare_exchange(from, to, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+/// The worker-shared half of a pool: everything but the job sender, so
+/// that dropping the runtime (which owns the only persistent senders)
+/// disconnects the queue and lets the workers exit.
+///
+/// Finished threads (retired overrun workers) park in `threads` until
+/// [`PoolCore::reap`] joins them.
+struct PoolCore {
+    jobs_rx: channel::Receiver<Job>,
+    target: usize,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    label: String,
+}
+
+/// A fixed-width pool of execution workers sharing one job queue.
+#[derive(Clone)]
+struct WorkerPool {
+    jobs_tx: channel::Sender<Job>,
+    core: Arc<PoolCore>,
+}
+
+impl PoolCore {
+    fn spawn_worker(self: &Arc<Self>) {
+        let core = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("chaincode-{}", self.label))
+            .spawn(move || core.worker_loop())
+            .expect("spawn chaincode worker");
+        self.threads.lock().push(handle);
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            // Senders dropped (runtime gone): exit.
+            let Ok(job) = self.jobs_rx.recv() else {
+                return;
+            };
+            if !job.state.advance(PHASE_PENDING, PHASE_RUNNING) {
+                // The caller abandoned the job while it was still queued;
+                // it must not run at all (a late simulation could
+                // otherwise observe state the caller never intended).
+                continue;
+            }
+            let run = job.run;
+            let result = catch_unwind(AssertUnwindSafe(run))
+                .unwrap_or_else(|_| Err(ChaincodeError::Aborted("chaincode panicked".into())));
+            // The result channel is per-job (receiver unique to the
+            // caller), so a late result can never leak into another
+            // proposal's response: if the caller gave up, the send fails
+            // inertly. Send *before* the DONE swap so that a caller seeing
+            // DONE can always collect the result.
+            let _ = job.result_tx.send(result);
+            if !job.state.advance(PHASE_RUNNING, PHASE_DONE) {
+                // The caller abandoned us mid-run and spawned a
+                // replacement that now holds our slot: retire. `reap`
+                // joins this thread later.
+                return;
+            }
+        }
+    }
+
+    /// Joins retired worker threads, returning how many were reaped.
+    fn reap(&self) -> usize {
+        let mut threads = self.threads.lock();
+        let before = threads.len();
+        let mut keep = Vec::with_capacity(before);
+        for handle in threads.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                keep.push(handle);
+            }
+        }
+        let reaped = before - keep.len();
+        *threads = keep;
+        reaped
+    }
+
+    /// Worker threads not yet terminated (live workers plus any overrun
+    /// stragglers still running an abandoned invocation).
+    fn thread_count(&self) -> usize {
+        self.threads
+            .lock()
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+}
+
+impl WorkerPool {
+    fn new(label: String, target: usize) -> Self {
+        let (jobs_tx, jobs_rx) = channel::unbounded();
+        let core = Arc::new(PoolCore {
+            jobs_rx,
+            target: target.max(1),
+            threads: Mutex::new(Vec::new()),
+            label,
+        });
+        for _ in 0..core.target {
+            core.spawn_worker();
+        }
+        WorkerPool { jobs_tx, core }
+    }
+
+    /// Runs one invocation under a deadline, replacing the executing
+    /// worker's slot if it overruns.
+    fn execute(
+        &self,
+        run: Box<dyn FnOnce() -> Result<ExecutionResult, ChaincodeError> + Send>,
+        timeout: Duration,
+    ) -> Result<ExecutionResult, ChaincodeError> {
+        let (result_tx, result_rx) = channel::bounded(1);
+        let state = JobPhase::new();
+        self.jobs_tx
+            .send(Job {
+                run,
+                result_tx,
+                state: state.clone(),
+            })
+            .map_err(|_| ChaincodeError::Aborted("runtime shut down".into()))?;
+        match result_rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if state.advance(PHASE_PENDING, PHASE_ABANDONED) {
+                    // Still queued: no worker ever picks it up.
+                    return Err(ChaincodeError::Timeout);
+                }
+                if state.advance(PHASE_RUNNING, PHASE_ABANDONED) {
+                    // A worker is wedged in this invocation: hand its slot
+                    // to a fresh thread so pool capacity recovers now, not
+                    // when (if ever) the invocation returns. The wedged
+                    // worker retires on return (it loses its DONE swap),
+                    // so the pool settles back to its target width.
+                    self.core.spawn_worker();
+                    return Err(ChaincodeError::Timeout);
+                }
+                // The worker finished in the window between our deadline
+                // and the swap above (phase is DONE, result already sent):
+                // take the result rather than discarding completed work.
+                result_rx
+                    .try_recv()
+                    .unwrap_or(Err(ChaincodeError::Timeout))
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(ChaincodeError::Aborted("chaincode worker lost".into()))
+            }
         }
     }
 }
@@ -83,17 +322,31 @@ impl Default for RuntimeConfig {
 pub struct ChaincodeRuntime {
     registry: Arc<ChaincodeRegistry>,
     config: RuntimeConfig,
+    /// `Pooled` mode: the shared pool (lazily built on first use).
+    shared_pool: Mutex<Option<WorkerPool>>,
+    /// `Serialized` mode: one single-worker pool per chaincode name.
+    per_chaincode: RwLock<HashMap<String, WorkerPool>>,
 }
 
 impl ChaincodeRuntime {
     /// Creates a runtime over a registry.
     pub fn new(registry: Arc<ChaincodeRegistry>, config: RuntimeConfig) -> Self {
-        ChaincodeRuntime { registry, config }
+        ChaincodeRuntime {
+            registry,
+            config,
+            shared_pool: Mutex::new(None),
+            per_chaincode: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The registry (for installs).
     pub fn registry(&self) -> &Arc<ChaincodeRegistry> {
         &self.registry
+    }
+
+    /// The configured execution policy.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
     }
 
     /// Simulates `invocation` against a fresh snapshot of `ledger`.
@@ -117,25 +370,70 @@ impl ChaincodeRuntime {
             Some(timeout) => {
                 let registry = self.registry.clone();
                 let ns = chaincode.to_string();
-                let (tx, rx) = channel::bounded(1);
-                // The worker owns everything it needs; if it overruns the
-                // deadline we simply stop waiting — the moral equivalent of
-                // killing the chaincode container.
-                std::thread::Builder::new()
-                    .name(format!("chaincode-{ns}"))
-                    .spawn(move || {
-                        let result =
-                            run_invocation(code, &ns, simulator, invocation, &registry);
-                        let _ = tx.send(result);
+                let pool = self.pool_for(chaincode);
+                let result = pool.execute(
+                    Box::new(move || run_invocation(code, &ns, simulator, invocation, &registry)),
+                    timeout,
+                );
+                pool.core.reap();
+                result
+            }
+        }
+    }
+
+    /// Joins every retired (overrun-and-finished) worker thread across all
+    /// pools, returning how many were reaped.
+    pub fn reap_workers(&self) -> usize {
+        let mut reaped = 0;
+        if let Some(pool) = self.shared_pool.lock().as_ref() {
+            reaped += pool.core.reap();
+        }
+        for pool in self.per_chaincode.read().values() {
+            reaped += pool.core.reap();
+        }
+        reaped
+    }
+
+    /// Total worker threads currently alive across all pools: the live
+    /// width plus any overrun stragglers that have not yet returned. The
+    /// thread-leak regression test watches this.
+    pub fn worker_threads(&self) -> usize {
+        let mut count = 0;
+        if let Some(pool) = self.shared_pool.lock().as_ref() {
+            count += pool.core.thread_count();
+        }
+        for pool in self.per_chaincode.read().values() {
+            count += pool.core.thread_count();
+        }
+        count
+    }
+
+    fn pool_for(&self, chaincode: &str) -> WorkerPool {
+        match self.config.mode {
+            ExecutionMode::Pooled { workers } => {
+                let mut guard = self.shared_pool.lock();
+                guard
+                    .get_or_insert_with(|| {
+                        let width = if workers == 0 {
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(4)
+                        } else {
+                            workers
+                        };
+                        WorkerPool::new("pool".into(), width)
                     })
-                    .map_err(|e| ChaincodeError::Aborted(e.to_string()))?;
-                match rx.recv_timeout(timeout) {
-                    Ok(result) => result,
-                    Err(channel::RecvTimeoutError::Timeout) => Err(ChaincodeError::Timeout),
-                    Err(channel::RecvTimeoutError::Disconnected) => {
-                        Err(ChaincodeError::Aborted("chaincode panicked".into()))
-                    }
+                    .clone()
+            }
+            ExecutionMode::Serialized => {
+                if let Some(pool) = self.per_chaincode.read().get(chaincode) {
+                    return pool.clone();
                 }
+                let mut pools = self.per_chaincode.write();
+                pools
+                    .entry(chaincode.to_string())
+                    .or_insert_with(|| WorkerPool::new(chaincode.to_string(), 1))
+                    .clone()
             }
         }
     }
@@ -171,6 +469,7 @@ fn run_invocation(
 mod tests {
     use super::*;
     use fabric_primitives::ids::{ChannelId, SerializedIdentity, TxId};
+    use std::sync::atomic::AtomicBool;
 
     fn invocation(function: &str, args: Vec<Vec<u8>>) -> Invocation {
         Invocation {
@@ -192,7 +491,13 @@ mod tests {
         let registry = Arc::new(ChaincodeRegistry::new());
         registry.install(name, cc);
         (
-            ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: timeout }),
+            ChaincodeRuntime::new(
+                registry,
+                RuntimeConfig {
+                    exec_timeout: timeout,
+                    ..RuntimeConfig::default()
+                },
+            ),
             Ledger::in_memory(),
         )
     }
@@ -231,7 +536,7 @@ mod tests {
     #[test]
     fn missing_chaincode_rejected() {
         let registry = Arc::new(ChaincodeRegistry::new());
-        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None, ..RuntimeConfig::default() });
         let ledger = Ledger::in_memory();
         assert!(matches!(
             runtime.execute(&ledger, "ghost", invocation("go", vec![])),
@@ -281,7 +586,7 @@ mod tests {
         let registry = Arc::new(ChaincodeRegistry::new());
         registry.install("caller", caller);
         registry.install("callee", callee);
-        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None, ..RuntimeConfig::default() });
         let ledger = Ledger::in_memory();
         let result = runtime
             .execute(&ledger, "caller", invocation("go", vec![]))
@@ -305,13 +610,230 @@ mod tests {
         });
         let registry = Arc::new(ChaincodeRegistry::new());
         registry.install("recursive", recursive);
-        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None });
+        let runtime = ChaincodeRuntime::new(registry, RuntimeConfig { exec_timeout: None, ..RuntimeConfig::default() });
         let ledger = Ledger::in_memory();
         let result = runtime
             .execute(&ledger, "recursive", invocation("go", vec![]))
             .unwrap();
         assert!(!result.response.is_ok());
         assert!(result.response.message.contains("depth"));
+    }
+
+    fn pooled_runtime(
+        name: &str,
+        cc: Arc<dyn Chaincode>,
+        workers: usize,
+        timeout: Duration,
+    ) -> (ChaincodeRuntime, Ledger) {
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install(name, cc);
+        (
+            ChaincodeRuntime::new(
+                registry,
+                RuntimeConfig {
+                    exec_timeout: Some(timeout),
+                    mode: ExecutionMode::Pooled { workers },
+                },
+            ),
+            Ledger::in_memory(),
+        )
+    }
+
+    #[test]
+    fn pooled_mode_runs_same_chaincode_concurrently() {
+        // Four invocations of ONE chaincode that all block on a shared
+        // barrier: they can only finish if the pool runs them in parallel.
+        // Serialized mode would deadlock past the per-invocation timeout.
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let b = barrier.clone();
+        let cc = Arc::new(move |_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            b.wait();
+            Ok(b"joined".to_vec())
+        });
+        let (runtime, ledger) = pooled_runtime("rendezvous", cc, 4, Duration::from_secs(5));
+        let runtime = Arc::new(runtime);
+        let ledger = Arc::new(ledger);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rt = runtime.clone();
+                let lg = ledger.clone();
+                std::thread::spawn(move || {
+                    rt.execute(&lg, "rendezvous", invocation("go", vec![]))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().unwrap().unwrap();
+            assert_eq!(result.response.payload, b"joined");
+        }
+    }
+
+    #[test]
+    fn panicking_chaincode_does_not_poison_pool() {
+        // After a panic the same worker must keep serving invocations.
+        let cc = Arc::new(|stub: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            if stub.function() == "boom" {
+                panic!("chaincode bug");
+            }
+            Ok(b"fine".to_vec())
+        });
+        let (runtime, ledger) = pooled_runtime("flaky", cc, 2, Duration::from_secs(2));
+        for _ in 0..8 {
+            assert!(matches!(
+                runtime.execute(&ledger, "flaky", invocation("boom", vec![])),
+                Err(ChaincodeError::Aborted(_))
+            ));
+        }
+        let ok = runtime
+            .execute(&ledger, "flaky", invocation("ok", vec![]))
+            .unwrap();
+        assert_eq!(ok.response.payload, b"fine");
+        // Panics are contained, not survived by replacement: the pool
+        // should still be exactly its configured width.
+        runtime.reap_workers();
+        assert_eq!(runtime.worker_threads(), 2);
+    }
+
+    #[test]
+    fn timed_out_worker_is_replaced_and_pool_recovers() {
+        let cc = Arc::new(|stub: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            if stub.function() == "stall" {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Ok(b"ok".to_vec())
+        });
+        let (runtime, ledger) = pooled_runtime("sleepy", cc, 2, Duration::from_millis(50));
+        assert!(matches!(
+            runtime.execute(&ledger, "sleepy", invocation("stall", vec![])),
+            Err(ChaincodeError::Timeout)
+        ));
+        // The replacement worker serves immediately even while the overrun
+        // worker is still sleeping.
+        let ok = runtime
+            .execute(&ledger, "sleepy", invocation("quick", vec![]))
+            .unwrap();
+        assert_eq!(ok.response.payload, b"ok");
+        // Once the straggler returns, reaping brings the thread count back
+        // to the configured width.
+        std::thread::sleep(Duration::from_millis(400));
+        runtime.reap_workers();
+        assert_eq!(runtime.worker_threads(), 2);
+    }
+
+    #[test]
+    fn consecutive_timeouts_do_not_accumulate_threads() {
+        // Regression for the pre-pool runtime, which spawned a fresh thread
+        // per invocation and *leaked* it on timeout: a client hammering a
+        // slow chaincode grew the process's thread count without bound.
+        // 1000 consecutive timeouts must keep the live thread count at the
+        // pool width plus the handful of stragglers still inside their
+        // (short) overrun sleeps.
+        let cc = Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            std::thread::sleep(Duration::from_millis(4));
+            Ok(vec![])
+        });
+        let (runtime, ledger) = pooled_runtime("laggard", cc, 2, Duration::from_millis(1));
+        let mut timeouts = 0;
+        for _ in 0..1000 {
+            if matches!(
+                runtime.execute(&ledger, "laggard", invocation("go", vec![])),
+                Err(ChaincodeError::Timeout)
+            ) {
+                timeouts += 1;
+            }
+        }
+        assert!(timeouts >= 900, "expected mostly timeouts, got {timeouts}");
+        // Give the last stragglers their 4ms to finish, then reap.
+        std::thread::sleep(Duration::from_millis(50));
+        runtime.reap_workers();
+        let alive = runtime.worker_threads();
+        assert!(
+            alive <= 4,
+            "thread leak: {alive} workers alive after 1000 timeouts"
+        );
+    }
+
+    fn ok_result() -> Result<ExecutionResult, ChaincodeError> {
+        Ok(ExecutionResult {
+            response: ChaincodeResponse::ok(vec![]),
+            rwset: TxReadWriteSet::default(),
+        })
+    }
+
+    #[test]
+    fn abandoned_queued_job_never_runs() {
+        // A job still queued when its caller times out must be skipped, not
+        // executed late. One worker, wedged by a patient long invocation
+        // (its caller's deadline is far off, so no replacement is spawned);
+        // a second invocation with a short deadline times out while queued;
+        // its closure must never run.
+        let pool = WorkerPool::new("q".into(), 1);
+        let wedge_pool = pool.clone();
+        let wedger = std::thread::spawn(move || {
+            wedge_pool.execute(
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_millis(150));
+                    ok_result()
+                }),
+                Duration::from_secs(5),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran_probe = ran.clone();
+        let result = pool.execute(
+            Box::new(move || {
+                ran_probe.store(true, Ordering::SeqCst);
+                ok_result()
+            }),
+            Duration::from_millis(40),
+        );
+        assert!(matches!(result, Err(ChaincodeError::Timeout)));
+        wedger.join().unwrap().unwrap();
+        // Give the (single, now free) worker time to drain the queue: it
+        // must skip the abandoned job, not run it.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !ran.load(Ordering::SeqCst),
+            "abandoned queued invocation must not execute"
+        );
+    }
+
+    #[test]
+    fn serialized_mode_still_isolates_chaincodes() {
+        // Distinct chaincodes get distinct workers even in Serialized mode:
+        // a wedged chaincode does not delay another one.
+        let cc_slow = Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok(vec![])
+        });
+        let cc_fast =
+            Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> { Ok(b"fast".to_vec()) });
+        let registry = Arc::new(ChaincodeRegistry::new());
+        registry.install("slow", cc_slow);
+        registry.install("fast", cc_fast);
+        let runtime = Arc::new(ChaincodeRuntime::new(
+            registry,
+            RuntimeConfig {
+                exec_timeout: Some(Duration::from_secs(2)),
+                mode: ExecutionMode::Serialized,
+            },
+        ));
+        let ledger = Arc::new(Ledger::in_memory());
+        let rt = runtime.clone();
+        let lg = ledger.clone();
+        let slow = std::thread::spawn(move || rt.execute(&lg, "slow", invocation("go", vec![])));
+        std::thread::sleep(Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        let result = runtime
+            .execute(&ledger, "fast", invocation("go", vec![]))
+            .unwrap();
+        assert_eq!(result.response.payload, b"fast");
+        assert!(
+            started.elapsed() < Duration::from_millis(150),
+            "fast chaincode was serialized behind the slow one"
+        );
+        slow.join().unwrap().unwrap();
     }
 
     #[test]

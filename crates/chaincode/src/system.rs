@@ -31,6 +31,32 @@ pub fn default_escc(
     }
 }
 
+/// Batched default ESCC: endorses many response payloads in one signing
+/// drain, amortizing the modular inversion across the batch
+/// ([`fabric_msp::SigningIdentity::sign_batch`]). Endorsements are
+/// byte-identical to calling [`default_escc`] per payload — the
+/// endorsement pipeline's signer stage relies on this for its equivalence
+/// guarantee.
+pub fn batch_escc(
+    identity: &SigningIdentity,
+    payloads: &[&ProposalResponsePayload],
+) -> Vec<Endorsement> {
+    let endorser = identity.serialized();
+    let messages: Vec<Vec<u8>> = payloads
+        .iter()
+        .map(|payload| Endorsement::signing_bytes(payload, &endorser))
+        .collect();
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+    identity
+        .sign_batch(&refs)
+        .into_iter()
+        .map(|signature| Endorsement {
+            signature: signature.to_bytes().to_vec(),
+            endorser: endorser.clone(),
+        })
+        .collect()
+}
+
 /// A pluggable validation system chaincode.
 ///
 /// Implementations must be **deterministic**: every peer evaluates the
@@ -168,6 +194,25 @@ mod tests {
         net.msp
             .validate_and_verify(&endorsement.endorser, &message, &endorsement.signature)
             .unwrap();
+    }
+
+    #[test]
+    fn batch_escc_matches_sequential_escc() {
+        let net = setup();
+        let mut payloads = Vec::new();
+        for i in 0..5u8 {
+            let mut p = payload();
+            p.response.payload = vec![i; 8];
+            payloads.push(p);
+        }
+        let refs: Vec<&ProposalResponsePayload> = payloads.iter().collect();
+        let batched = batch_escc(&net.peer1, &refs);
+        assert_eq!(batched.len(), payloads.len());
+        for (p, e) in payloads.iter().zip(&batched) {
+            let sequential = default_escc(&net.peer1, p);
+            assert_eq!(e.signature, sequential.signature);
+            assert_eq!(e.endorser, sequential.endorser);
+        }
     }
 
     #[test]

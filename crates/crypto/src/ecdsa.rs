@@ -267,6 +267,85 @@ impl SigningKey {
             return Signature { r, s };
         }
     }
+
+    /// Signs many raw messages at once (each hashed internally with
+    /// SHA-256). See [`SigningKey::sign_prehashed_batch`].
+    pub fn sign_batch(&self, messages: &[&[u8]]) -> Vec<Signature> {
+        let hashes: Vec<Digest> = messages.iter().map(|m| digest(m)).collect();
+        self.sign_prehashed_batch(&hashes)
+    }
+
+    /// Signs a batch of digests, amortizing the modular inversion.
+    ///
+    /// Produces signatures byte-identical to calling
+    /// [`SigningKey::sign_prehashed`] per digest (nonces are the same
+    /// RFC 6979 derivation), but computes all the `k^-1` values with one
+    /// Fermat inversion via Montgomery's batch-inversion trick — 1
+    /// inversion + 3(N-1) multiplications instead of N inversions. The
+    /// per-signature point multiplication is unchanged, so the saving is
+    /// the inversion share of the signing cost.
+    pub fn sign_prehashed_batch(&self, hashes: &[Digest]) -> Vec<Signature> {
+        let q = fq();
+        let n = order();
+        let dm = q.to_mont(&self.d);
+        // Phase 1: per digest, derive the nonce and compute everything
+        // except the inversion: k (Montgomery form), r, and
+        // (e + r·d) in Montgomery form. The retry conditions mirror
+        // `sign_prehashed` exactly: r == 0 retries the nonce, and
+        // s == 0 ⇔ (e + r·d) == 0 (since k^-1 ≠ 0), so checking the sum
+        // here is the same retry the sequential signer performs.
+        let mut km = Vec::with_capacity(hashes.len());
+        let mut sums = Vec::with_capacity(hashes.len());
+        let mut rs = Vec::with_capacity(hashes.len());
+        for hash in hashes {
+            let e = hash_to_scalar(hash);
+            let mut nonce_gen = Rfc6979::new(&self.d, hash);
+            loop {
+                let k = nonce_gen.next_nonce();
+                let point = Point::generator().mul(&k);
+                let (x, _) = point.to_affine().expect("k in [1, n-1] never yields infinity");
+                let r = x.reduce_once(&n);
+                if r.is_zero() {
+                    continue;
+                }
+                let rm = q.to_mont(&r);
+                let em = q.to_mont(&e);
+                let sum = q.add(&em, &q.mul(&rm, &dm));
+                if sum.is_zero() {
+                    continue;
+                }
+                km.push(q.to_mont(&k));
+                sums.push(sum);
+                rs.push(r);
+                break;
+            }
+        }
+        // Phase 2: batch-invert the nonces. prefix[i] = k_0·…·k_i; one
+        // inversion of the total product, then peel inverses off the back.
+        let mut prefix = Vec::with_capacity(km.len());
+        let mut acc = q.one();
+        for k in &km {
+            acc = q.mul(&acc, k);
+            prefix.push(acc);
+        }
+        let mut inv_acc = q.inv(&acc);
+        let mut kinv = vec![U256::ZERO; km.len()];
+        for i in (0..km.len()).rev() {
+            if i == 0 {
+                kinv[0] = inv_acc;
+            } else {
+                kinv[i] = q.mul(&inv_acc, &prefix[i - 1]);
+                inv_acc = q.mul(&inv_acc, &km[i]);
+            }
+        }
+        // Phase 3: s_i = k_i^-1 (e_i + r_i·d).
+        (0..km.len())
+            .map(|i| Signature {
+                r: rs[i],
+                s: q.from_mont(&q.mul(&kinv[i], &sums[i])),
+            })
+            .collect()
+    }
 }
 
 impl core::fmt::Debug for SigningKey {
@@ -345,6 +424,31 @@ mod tests {
         let key = SigningKey::from_seed(b"test-key-1");
         let sig = key.sign(b"hello fabric");
         key.verifying_key().verify(b"hello fabric", &sig).unwrap();
+    }
+
+    #[test]
+    fn batch_signing_matches_sequential() {
+        let key = SigningKey::from_seed(b"batch-key");
+        let messages: Vec<Vec<u8>> = (0..17u32)
+            .map(|i| format!("payload-{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+        let batch = key.sign_batch(&refs);
+        assert_eq!(batch.len(), messages.len());
+        for (message, sig) in messages.iter().zip(&batch) {
+            // Byte-identical to the one-at-a-time signer (RFC 6979 nonces
+            // are deterministic) and verifiable.
+            assert_eq!(sig.to_bytes(), key.sign(message).to_bytes());
+            key.verifying_key().verify(message, sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_signing_empty_and_single() {
+        let key = SigningKey::from_seed(b"batch-key-2");
+        assert!(key.sign_batch(&[]).is_empty());
+        let batch = key.sign_batch(&[b"only".as_slice()]);
+        assert_eq!(batch[0].to_bytes(), key.sign(b"only").to_bytes());
     }
 
     #[test]

@@ -45,12 +45,25 @@ impl Endorser {
         }
     }
 
-    /// Processes a signed proposal: authenticate, simulate, endorse.
-    pub fn process_proposal(
+    /// The signing identity endorsements are issued under (the pipeline's
+    /// signer stage batches over it).
+    pub(crate) fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// The execute phase without the signature: authenticate the client,
+    /// simulate the chaincode against a snapshot, and assemble the
+    /// response payload. Results are NOT persisted (the ledger only
+    /// changes in the validation phase).
+    ///
+    /// This is the parallelizable part of endorsement — the
+    /// [`crate::EndorsePipeline`] runs it on its simulation workers and
+    /// defers the ESCC signature to a batching signer stage.
+    pub fn simulate(
         &self,
         ledger: &Ledger,
         signed: &SignedProposal,
-    ) -> Result<ProposalResponse, PeerError> {
+    ) -> Result<ProposalResponsePayload, PeerError> {
         let proposal = &signed.proposal;
         // Authenticate the client and its signature over the proposal.
         let validated = {
@@ -73,8 +86,6 @@ impl Endorser {
             tx_id,
             channel: proposal.channel.clone(),
         };
-        // Simulate against a snapshot; results are NOT persisted (the
-        // ledger only changes in the validation phase).
         let result = self
             .runtime
             .execute(ledger, &proposal.payload.chaincode.name, invocation)
@@ -82,12 +93,21 @@ impl Endorser {
         if !result.response.is_ok() {
             return Err(PeerError::ChaincodeRejected(result.response.message));
         }
-        let payload = ProposalResponsePayload {
+        Ok(ProposalResponsePayload {
             tx_id,
             chaincode: proposal.payload.chaincode.clone(),
             rwset: result.rwset,
             response: result.response,
-        };
+        })
+    }
+
+    /// Processes a signed proposal: authenticate, simulate, endorse.
+    pub fn process_proposal(
+        &self,
+        ledger: &Ledger,
+        signed: &SignedProposal,
+    ) -> Result<ProposalResponse, PeerError> {
+        let payload = self.simulate(ledger, signed)?;
         // Default ESCC: sign the payload bound to our identity.
         let endorsement = default_escc(&self.identity, &payload);
         Ok(ProposalResponse {

@@ -7,6 +7,7 @@
 //! application state except through ordered blocks.
 
 pub mod committer;
+pub mod endorse_pipeline;
 pub mod endorser;
 pub mod intake;
 pub mod peer;
@@ -14,6 +15,9 @@ pub mod pipeline;
 pub mod view;
 
 pub use committer::{Committer, ValidationTiming};
+pub use endorse_pipeline::{
+    EndorseOptions, EndorsePipeline, EndorseReject, EndorseStats, EndorseTicket,
+};
 pub use endorser::Endorser;
 pub use intake::{Deliver, DeliverMux, MuxGauges};
 pub use peer::{Peer, PeerConfig};
@@ -130,7 +134,7 @@ pub(crate) mod tests {
             Arc::new(MemBackend::new()),
             PeerConfig {
                 vscc_parallelism: 2,
-                runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None },
+                runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                 sync_writes: false,
             },
         )
@@ -461,7 +465,7 @@ pub(crate) mod tests {
                 backend.clone(),
                 PeerConfig {
                     vscc_parallelism: 1,
-                    runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None },
+                    runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                     sync_writes: false,
                 },
             )
@@ -547,7 +551,7 @@ pub(crate) mod tests {
             Arc::new(MemBackend::new()),
             PeerConfig {
                 vscc_parallelism: 1,
-                runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None },
+                runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                 sync_writes: false,
             },
         )
@@ -616,7 +620,7 @@ pub(crate) mod tests {
                 Arc::new(MemBackend::new()),
                 PeerConfig {
                     vscc_parallelism: 1,
-                    runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None },
+                    runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                     sync_writes: false,
                 },
             )

@@ -23,6 +23,7 @@ use fabric_primitives::transaction::{EnvelopeContent, ProposalResponse, SignedPr
 use fabric_primitives::ChannelId;
 
 use crate::committer::{Committer, ValidationTiming};
+use crate::endorse_pipeline::{EndorseOptions, EndorsePipeline};
 use crate::endorser::Endorser;
 use crate::pipeline::{PipelineHandle, PipelineOptions};
 use crate::view::ChannelView;
@@ -56,7 +57,7 @@ pub struct Peer {
     channel: ChannelId,
     ledger: Arc<Ledger>,
     view: Arc<RwLock<ChannelView>>,
-    endorser: Endorser,
+    endorser: Arc<Endorser>,
     committer: Committer,
     runtime: Arc<ChaincodeRuntime>,
 }
@@ -88,7 +89,7 @@ impl Peer {
 
         let ledger = Arc::new(Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?);
         let peer = Peer {
-            endorser: Endorser::new(identity.clone(), runtime.clone(), view.clone()),
+            endorser: Arc::new(Endorser::new(identity.clone(), runtime.clone(), view.clone())),
             committer: Committer::new(view.clone(), config.vscc_parallelism),
             identity,
             channel,
@@ -150,7 +151,7 @@ impl Peer {
                 .map_err(PeerError::Ledger)?;
         }
         Ok(Peer {
-            endorser: Endorser::new(identity.clone(), runtime.clone(), view.clone()),
+            endorser: Arc::new(Endorser::new(identity.clone(), runtime.clone(), view.clone())),
             committer: Committer::new(view.clone(), config.vscc_parallelism),
             identity,
             channel,
@@ -197,6 +198,22 @@ impl Peer {
         proposal: &SignedProposal,
     ) -> Result<ProposalResponse, PeerError> {
         self.endorser.process_proposal(&self.ledger, proposal)
+    }
+
+    /// Starts the sharded, pipelined endorsement path over this peer's
+    /// endorser: bounded intake, per-chaincode fair scheduling across a
+    /// pool of simulation workers, and a batching ESCC signer. The
+    /// responses it produces are byte-identical to
+    /// [`Peer::process_proposal`]'s (deterministic signatures), just
+    /// faster under load.
+    ///
+    /// For same-chaincode proposals to simulate concurrently the peer's
+    /// runtime must be pooled ([`fabric_chaincode::ExecutionMode::Pooled`])
+    /// or inline (`exec_timeout: None`); under the default serialized
+    /// mode the pipeline still parallelizes authentication, cross-chaincode
+    /// execution, and signing.
+    pub fn endorse_pipeline(&self, opts: EndorseOptions) -> EndorsePipeline {
+        EndorsePipeline::start(self.endorser.clone(), self.ledger.clone(), opts)
     }
 
     /// Validates and commits a delivered block (validation phase), after
@@ -322,6 +339,12 @@ impl Peer {
     /// The ledger (for audit tooling and benches).
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
+    }
+
+    /// The chaincode runtime (worker-pool observability for the
+    /// fault-injection tests and benches).
+    pub fn chaincode_runtime(&self) -> &Arc<ChaincodeRuntime> {
+        &self.runtime
     }
 
     /// Changes the VSCC parallelism (Fig. 7 experiments).

@@ -178,7 +178,7 @@ pub(crate) struct Scheduler<T> {
 }
 
 impl<T> Scheduler<T> {
-    fn new(policy: SchedulerPolicy) -> Self {
+    pub(crate) fn new(policy: SchedulerPolicy) -> Self {
         Scheduler {
             policy,
             state: Mutex::new(SchedState {
@@ -193,7 +193,7 @@ impl<T> Scheduler<T> {
     }
 
     /// Registers a channel with the given DRR weight, returning its slot.
-    fn register(&self, weight: u32) -> u64 {
+    pub(crate) fn register(&self, weight: u32) -> u64 {
         let mut state = self.state.lock();
         let slot = state.next_slot;
         state.next_slot += 1;
@@ -211,7 +211,7 @@ impl<T> Scheduler<T> {
     /// Removes a channel's queue, dropping any still-queued items. Only
     /// legal once the channel's pipeline has stopped (graceful close
     /// drains the queue first; abort abandons the items on purpose).
-    fn deregister(&self, slot: u64) {
+    pub(crate) fn deregister(&self, slot: u64) {
         let mut state = self.state.lock();
         state.queues.remove(&slot);
         state.active.retain(|s| *s != slot);
@@ -220,7 +220,7 @@ impl<T> Scheduler<T> {
     /// Queues one item for `slot`, returning the queue depth after the
     /// push (a per-channel queue gauge), or `None` if the scheduler is
     /// closed or the slot deregistered.
-    fn submit(&self, slot: u64, cost: u64, item: T) -> Option<usize> {
+    pub(crate) fn submit(&self, slot: u64, cost: u64, item: T) -> Option<usize> {
         let mut state = self.state.lock();
         if state.closed {
             return None;
@@ -246,7 +246,7 @@ impl<T> Scheduler<T> {
 
     /// Blocks until an item is schedulable (or the scheduler is closed
     /// *and* drained, returning `None`). Workers call this in a loop.
-    fn next(&self) -> Option<T> {
+    pub(crate) fn next(&self) -> Option<T> {
         let mut state = self.state.lock();
         loop {
             if let Some(item) = Self::dequeue(self.policy, &mut state) {
@@ -313,7 +313,7 @@ impl<T> Scheduler<T> {
 
     /// Stops accepting new items and wakes every worker; queued items are
     /// still served until drained.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.state.lock().closed = true;
         self.cv.notify_all();
     }

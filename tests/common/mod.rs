@@ -50,6 +50,17 @@ pub fn kv_chaincode(stub: &mut Stub<'_>) -> Result<Vec<u8>, String> {
             stub.put_state(&key, (current + 1).to_le_bytes().to_vec());
             Ok(vec![])
         }
+        "multiget" => {
+            // Reads every argument as a key and concatenates the values:
+            // a multi-key read in one simulation (snapshot-consistency
+            // probe for the endorsement tests).
+            let mut out = Vec::new();
+            for arg in stub.args().to_vec() {
+                let key = String::from_utf8(arg).map_err(|e| e.to_string())?;
+                out.extend(stub.get_state(&key)?.unwrap_or_default());
+            }
+            Ok(out)
+        }
         "scanput" => {
             let prefix = stub.arg_string(0)?;
             let dest = stub.arg_string(1)?;
@@ -208,7 +219,7 @@ pub fn make_peer(
         backend,
         PeerConfig {
             vscc_parallelism,
-            runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None },
+            runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: false,
         },
     )

@@ -76,7 +76,7 @@ impl World {
                     Arc::new(MemBackend::new()),
                     PeerConfig {
                         vscc_parallelism: 2,
-                        runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None },
+                        runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                         sync_writes: false,
                     },
                 )

@@ -1,0 +1,371 @@
+//! Fault-injection battery for the endorsement pipeline: hostile or
+//! wedged chaincode must cost only its own proposal (the paper's Sec. 3.2
+//! DoS argument), never the pipeline, the pool, or another proposal's
+//! response — and every simulation must read from exactly one state
+//! snapshot even while commits land concurrently.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::PipelineWorld;
+use fabric::chaincode::{ExecutionMode, RuntimeConfig, Stub};
+use fabric::client::Client;
+use fabric::kvstore::MemBackend;
+use fabric::msp::Role;
+use fabric::peer::{EndorseOptions, Peer, PeerConfig, PeerError};
+use fabric::primitives::block::Block;
+use fabric::primitives::transaction::Envelope;
+
+const POOL_WIDTH: usize = 2;
+
+/// A peer joined to the world's channel with a deadline-guarded, pooled
+/// runtime (the configuration under attack in this battery).
+fn faulty_peer(world: &PipelineWorld, name: &str, timeout: Duration) -> Peer {
+    let identity = fabric::msp::issue_identity(
+        &world.net.org_cas[0],
+        name,
+        Role::Peer,
+        name.as_bytes(),
+    );
+    let peer = Peer::join(
+        identity,
+        &world.genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig {
+            vscc_parallelism: 1,
+            runtime: RuntimeConfig {
+                exec_timeout: Some(timeout),
+                mode: ExecutionMode::Pooled {
+                    workers: POOL_WIDTH,
+                },
+            },
+            sync_writes: false,
+        },
+    )
+    .expect("peer joins");
+    peer.install_chaincode("kv", Arc::new(common::kv_chaincode));
+    peer
+}
+
+fn client(world: &PipelineWorld, name: &str) -> Client {
+    let id = fabric::msp::issue_identity(
+        &world.net.org_cas[0],
+        name,
+        Role::Client,
+        name.as_bytes(),
+    );
+    Client::new(id, world.net.channel.clone())
+}
+
+#[test]
+fn panicking_chaincode_does_not_poison_pipeline() {
+    let world = PipelineWorld::new();
+    let peer = faulty_peer(&world, "panic-peer", Duration::from_secs(2));
+    peer.install_chaincode(
+        "boom",
+        Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            panic!("hostile chaincode");
+        }),
+    );
+    let cl = client(&world, "panic-client");
+    let pipeline = peer.endorse_pipeline(EndorseOptions {
+        workers: POOL_WIDTH,
+        ..EndorseOptions::default()
+    });
+    // Alternate panicking and healthy proposals: every panic is contained,
+    // every healthy proposal still endorses.
+    for i in 0..20u8 {
+        let mut nonce = [0xB0u8; 32];
+        nonce[0] = i;
+        if i % 2 == 0 {
+            let sp = cl.create_proposal_with_nonce("boom", "go", vec![], nonce);
+            assert!(
+                matches!(pipeline.endorse(sp), Err(PeerError::Chaincode(_))),
+                "panic must abort only its own proposal"
+            );
+        } else {
+            let sp = cl.create_proposal_with_nonce(
+                "kv",
+                "put",
+                vec![vec![b'p', i], vec![i]],
+                nonce,
+            );
+            pipeline.endorse(sp).expect("healthy proposal endorses");
+        }
+    }
+    let stats = pipeline.stats();
+    assert_eq!(stats.endorsed, 10);
+    assert_eq!(stats.failed, 10);
+    pipeline.close();
+    // Panics are contained in-place (catch_unwind), not survived by
+    // replacement: the execution pool is still exactly its configured
+    // width.
+    peer.chaincode_runtime().reap_workers();
+    assert_eq!(peer.chaincode_runtime().worker_threads(), POOL_WIDTH);
+}
+
+#[test]
+fn timed_out_chaincode_recovers_worker_capacity() {
+    let world = PipelineWorld::new();
+    let peer = faulty_peer(&world, "stall-peer", Duration::from_millis(40));
+    peer.install_chaincode(
+        "stall",
+        Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(vec![])
+        }),
+    );
+    let cl = client(&world, "stall-client");
+    let pipeline = peer.endorse_pipeline(EndorseOptions {
+        workers: POOL_WIDTH,
+        ..EndorseOptions::default()
+    });
+    // Wedge the pool repeatedly; each overrun worker is replaced, so the
+    // healthy proposal that follows is served promptly.
+    for round in 0..5u8 {
+        let mut nonce = [0xC0u8; 32];
+        nonce[0] = round;
+        let sp = cl.create_proposal_with_nonce("stall", "go", vec![], nonce);
+        assert!(matches!(
+            pipeline.endorse(sp),
+            Err(PeerError::Chaincode(_))
+        ));
+        nonce[1] = 1;
+        let sp = cl.create_proposal_with_nonce(
+            "kv",
+            "put",
+            vec![vec![b'q', round], vec![round]],
+            nonce,
+        );
+        pipeline.endorse(sp).expect("pool capacity recovered");
+    }
+    pipeline.close();
+    // Once the stragglers' sleeps elapse they retire; reaping restores the
+    // exact configured width — no leaked threads, no shrunken pool.
+    std::thread::sleep(Duration::from_millis(250));
+    peer.chaincode_runtime().reap_workers();
+    assert_eq!(peer.chaincode_runtime().worker_threads(), POOL_WIDTH);
+}
+
+#[test]
+fn repeated_timeouts_do_not_leak_threads() {
+    // Pipeline-level slice of the satellite regression (the 1000-iteration
+    // version lives in the runtime's unit tests): a burst of timeouts
+    // through the full endorsement path leaves the thread count bounded.
+    let world = PipelineWorld::new();
+    let peer = faulty_peer(&world, "leak-peer", Duration::from_millis(5));
+    peer.install_chaincode(
+        "laggard",
+        Arc::new(|_: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            std::thread::sleep(Duration::from_millis(12));
+            Ok(vec![])
+        }),
+    );
+    let cl = client(&world, "leak-client");
+    let pipeline = peer.endorse_pipeline(EndorseOptions {
+        workers: POOL_WIDTH,
+        ..EndorseOptions::default()
+    });
+    let mut timeouts = 0;
+    for i in 0..200u32 {
+        let mut nonce = [0xD0u8; 32];
+        nonce[..4].copy_from_slice(&i.to_le_bytes());
+        let sp = cl.create_proposal_with_nonce("laggard", "go", vec![], nonce);
+        if pipeline.endorse(sp).is_err() {
+            timeouts += 1;
+        }
+    }
+    assert!(timeouts >= 150, "expected mostly timeouts, got {timeouts}");
+    pipeline.close();
+    std::thread::sleep(Duration::from_millis(100));
+    peer.chaincode_runtime().reap_workers();
+    let alive = peer.chaincode_runtime().worker_threads();
+    assert!(
+        alive <= POOL_WIDTH * 2,
+        "thread leak: {alive} execution workers alive after 200 timeouts"
+    );
+}
+
+#[test]
+fn late_result_cannot_cross_into_another_response() {
+    // A timed-out invocation's (eventual) result must never surface as
+    // some other proposal's response. "sometimes" stalls past the deadline
+    // and returns a poison payload; quick kv puts run interleaved on the
+    // same pool. Every delivered response must carry its own proposal's
+    // tx_id and never the poison bytes.
+    let world = PipelineWorld::new();
+    let peer = faulty_peer(&world, "iso-peer", Duration::from_millis(30));
+    let armed = Arc::new(AtomicBool::new(true));
+    let armed_cc = armed.clone();
+    peer.install_chaincode(
+        "sometimes",
+        Arc::new(move |stub: &mut Stub<'_>| -> Result<Vec<u8>, String> {
+            if armed_cc.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(80));
+            }
+            stub.put_state("poison", b"late".to_vec());
+            Ok(b"POISON".to_vec())
+        }),
+    );
+    let cl = client(&world, "iso-client");
+    let pipeline = peer.endorse_pipeline(EndorseOptions {
+        workers: POOL_WIDTH,
+        ..EndorseOptions::default()
+    });
+    for i in 0..30u8 {
+        let mut nonce = [0xE0u8; 32];
+        nonce[0] = i;
+        if i % 3 == 0 {
+            let sp = cl.create_proposal_with_nonce("sometimes", "go", vec![], nonce);
+            let expected_tx = sp.proposal.tx_id();
+            match pipeline.endorse(sp) {
+                Err(_) => {}
+                Ok(response) => {
+                    // Raced the deadline and won: legal, but it must be
+                    // exactly this proposal's result.
+                    assert_eq!(response.payload.tx_id, expected_tx);
+                }
+            }
+        } else {
+            let sp = cl.create_proposal_with_nonce(
+                "kv",
+                "put",
+                vec![vec![b'k', i], vec![i]],
+                nonce,
+            );
+            let expected_tx = sp.proposal.tx_id();
+            let response = pipeline.endorse(sp).expect("quick put endorses");
+            assert_eq!(
+                response.payload.tx_id, expected_tx,
+                "response belongs to a different proposal"
+            );
+            assert_ne!(
+                response.payload.response.payload, b"POISON",
+                "late result leaked into another proposal's response"
+            );
+            assert!(
+                response
+                    .payload
+                    .rwset
+                    .ns_rwsets
+                    .iter()
+                    .all(|ns| ns.writes.iter().all(|w| w.key != "poison")),
+                "late rw-set leaked into another proposal's response"
+            );
+        }
+    }
+    armed.store(false, Ordering::SeqCst);
+    pipeline.close();
+}
+
+#[test]
+fn simulations_read_from_a_single_snapshot_under_concurrent_commits() {
+    // Satellite 4: while the committer lands blocks, every concurrent
+    // endorsement must simulate against exactly ONE state snapshot — all
+    // of a proposal's reads carry versions from the same committed height
+    // (no torn reads across a commit boundary).
+    const KEYS: usize = 8;
+    const BLOCKS: usize = 12;
+    let mut world = PipelineWorld::new();
+    // Seed block: every key written once, so reads always find versions.
+    let seed: Vec<Envelope> = (0..KEYS)
+        .map(|k| world.endorse("put", vec![format!("snap{k}").into_bytes(), vec![0u8]]))
+        .collect();
+    world.seal_block(seed);
+
+    // The reader touches every key in one simulation (kv `multiget`): a
+    // torn snapshot would show as reads with mixed block numbers in one
+    // rw-set.
+    let read_args: Vec<Vec<u8>> = (0..KEYS)
+        .map(|k| format!("snap{k}").into_bytes())
+        .collect();
+
+    // Pre-build the writer's blocks: blind writes have empty read sets, so
+    // endorsing them all NOW (against the seed state) keeps them valid
+    // whenever they commit. Hash-chain them without committing yet.
+    let mut pending_blocks: Vec<Block> = Vec::new();
+    let mut prev = world.blocks.last().unwrap().hash();
+    let mut number = world.builder.height();
+    for marker in 1..=BLOCKS as u8 {
+        let envelopes: Vec<Envelope> = (0..KEYS)
+            .map(|k| {
+                world.endorse(
+                    "put",
+                    vec![format!("snap{k}").into_bytes(), vec![marker]],
+                )
+            })
+            .collect();
+        let block = Block::new(number, prev, envelopes);
+        prev = block.hash();
+        number += 1;
+        pending_blocks.push(block);
+    }
+
+    let pipeline = world.builder.endorse_pipeline(EndorseOptions {
+        workers: 4,
+        ..EndorseOptions::default()
+    });
+    let cl = client(&world, "snap-client");
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Writer: commit the pre-built blocks with small gaps, so snapshots
+    // are taken before, between, and after commits.
+    std::thread::scope(|scope| {
+        let builder = &world.builder;
+        let done_writer = done.clone();
+        scope.spawn(move || {
+            for block in &pending_blocks {
+                builder.commit_block(block).expect("pre-built block commits");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            done_writer.store(true, Ordering::SeqCst);
+        });
+
+        // Readers: endorse readall proposals as fast as they complete.
+        let mut observed_heights = std::collections::BTreeSet::new();
+        let mut round = 0u32;
+        while !done.load(Ordering::SeqCst) || round < 20 {
+            let mut nonce = [0xAAu8; 32];
+            nonce[..4].copy_from_slice(&round.to_le_bytes());
+            round += 1;
+            let sp =
+                cl.create_proposal_with_nonce("kv", "multiget", read_args.clone(), nonce);
+            let response = pipeline.endorse(sp).expect("multiget endorses");
+            let mut block_nums = std::collections::BTreeSet::new();
+            let mut reads = 0;
+            for ns in &response.payload.rwset.ns_rwsets {
+                for read in &ns.reads {
+                    if let Some(version) = &read.version {
+                        block_nums.insert(version.block_num);
+                        reads += 1;
+                    }
+                }
+            }
+            assert_eq!(reads, KEYS, "multiget reads every key with a version");
+            assert_eq!(
+                block_nums.len(),
+                1,
+                "torn snapshot: one rw-set read versions from blocks {block_nums:?}"
+            );
+            // The response values must also be uniform: all keys carry the
+            // same marker when read from one snapshot.
+            let values = &response.payload.response.payload;
+            assert_eq!(values.len(), KEYS);
+            assert!(
+                values.iter().all(|v| v == &values[0]),
+                "mixed markers in one snapshot: {values:?}"
+            );
+            observed_heights.insert(*block_nums.iter().next().unwrap());
+        }
+        // The run was genuinely concurrent: snapshots from several
+        // different committed heights were observed.
+        assert!(
+            observed_heights.len() >= 3,
+            "writer never advanced under the readers: {observed_heights:?}"
+        );
+    });
+    pipeline.close();
+}

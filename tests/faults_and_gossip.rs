@@ -38,6 +38,7 @@ fn dos_chaincode_cannot_stall_the_peer() {
             vscc_parallelism: 1,
             runtime: RuntimeConfig {
                 exec_timeout: Some(Duration::from_millis(150)),
+                ..Default::default()
             },
             sync_writes: false,
         },
