@@ -39,6 +39,16 @@ else
 fi
 cargo test -q -p fabric-peer
 
+echo "== fabric-kvstore: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/kvstore/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-kvstore --all-targets -- -D warnings
+else
+    echo "clippy not installed; falling back to rustc warning gate"
+    find crates/kvstore/src -name '*.rs' -exec touch {} +
+    RUSTFLAGS="-Dwarnings" cargo build -p fabric-kvstore
+fi
+
 echo "== fabric-statesync: clippy gate (-D warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     find crates/statesync/src -name '*.rs' -exec touch {} +
@@ -58,6 +68,9 @@ fi
 echo "== endorsement battery: equivalence + fault injection =="
 cargo test -q --test endorsement_equivalence --test endorsement_faults
 
+echo "== storage battery: crash recovery + engine equivalence =="
+cargo test -q -p fabric-kvstore --test storage_recovery --test storage_equivalence
+
 echo "== multi-channel test battery under --release =="
 cargo test -q --release --test multi_channel
 
@@ -69,5 +82,8 @@ FABRIC_BENCH_SMOKE=1 cargo bench -q --bench multi_channel_overlap -p fabric-benc
 
 echo "== endorsement overlap bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench endorsement_overlap -p fabric-bench
+
+echo "== storage scale bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench storage_scale -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

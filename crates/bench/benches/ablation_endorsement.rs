@@ -78,6 +78,7 @@ fn main() {
                         vscc_parallelism: 1,
                         runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                         sync_writes: false,
+                        engine: Default::default(),
                     },
                 )
                 .expect("join");

@@ -53,6 +53,7 @@ fn make_peer(net: &TestNet, genesis: &Block, name: &str) -> Peer {
             vscc_parallelism: 2,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: false,
+            engine: Default::default(),
         },
     )
     .expect("peer joins");
@@ -142,6 +143,7 @@ fn snapshot_catchup(
             vscc_parallelism: 2,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: false,
+            engine: Default::default(),
         },
     )
     .expect("snapshot install");

@@ -85,6 +85,7 @@ fn main() {
                 ..Default::default()
             },
             sync_writes: false,
+            engine: Default::default(),
         },
     )
     .expect("peer joins");

@@ -106,6 +106,7 @@ fn make_fabcoin_peer_on(
             vscc_parallelism,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes,
+            engine: Default::default(),
         },
     )
     .expect("peer joins");

@@ -48,6 +48,7 @@ fn make_peer(
             vscc_parallelism,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: false,
+            engine: Default::default(),
         },
     )
     .expect("peer joins");

@@ -145,6 +145,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
             vscc_parallelism: cfg.vscc_parallelism,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: matches!(cfg.storage, Storage::Fs(_)),
+            ..Default::default()
         },
     )
     .expect("peer joins");

@@ -113,6 +113,7 @@ impl FabcoinNetwork {
                     vscc_parallelism: config.vscc_parallelism,
                     runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                     sync_writes: false,
+                    ..Default::default()
                 },
             )
             .expect("peer joins channel");

@@ -4,6 +4,12 @@
 //! peers. Abstracting the byte storage behind [`Backend`] lets the same
 //! store, WAL, and block-store code run against both, and makes the
 //! comparison a one-line configuration change.
+//!
+//! Files expose two read paths: the historical `read_at(&mut self)` used
+//! by single-owner appenders, and [`BackendFile::read_at_shared`], a
+//! positioned read through `&self` (`pread` on the filesystem backend) so
+//! concurrent readers — block-cache misses, parallel VSCC state reads,
+//! block fetches — never serialize on one file lock.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
@@ -11,16 +17,26 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::StoreError;
 
 /// A named, append-oriented byte file within a backend.
-pub trait BackendFile: Send {
+///
+/// `Sync` is required so segment readers can share one handle across
+/// threads through the `&self` positioned-read path.
+pub trait BackendFile: Send + Sync {
     /// Appends bytes at the end, returning the offset they were written at.
     fn append(&mut self, data: &[u8]) -> Result<u64, StoreError>;
     /// Reads `len` bytes at `offset`; short reads are errors.
-    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError>;
+    ///
+    /// Default: delegates to the shared positioned read.
+    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        self.read_at_shared(offset, len)
+    }
+    /// Positioned read through a shared reference: safe to call from many
+    /// threads at once without external locking.
+    fn read_at_shared(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError>;
     /// Current length in bytes.
     fn len(&mut self) -> Result<u64, StoreError>;
     /// Returns `true` if the file is empty.
@@ -43,6 +59,8 @@ pub trait Backend: Send + Sync {
     fn remove(&self, name: &str) -> Result<(), StoreError>;
     /// Atomically replaces `dst` with `src` (rename semantics).
     fn rename(&self, src: &str, dst: &str) -> Result<(), StoreError>;
+    /// Names of all existing files (orphan cleanup, test inspection).
+    fn list(&self) -> Result<Vec<String>, StoreError>;
 }
 
 /// File-system backend rooted at a directory.
@@ -80,6 +98,27 @@ impl BackendFile for FsFile {
             .map_err(StoreError::io)?;
         let mut buf = vec![0u8; len];
         self.file.read_exact(&mut buf).map_err(StoreError::io)?;
+        Ok(buf)
+    }
+
+    #[cfg(unix)]
+    fn read_at_shared(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = vec![0u8; len];
+        self.file
+            .read_exact_at(&mut buf, offset)
+            .map_err(StoreError::io)?;
+        Ok(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at_shared(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        // `Read`/`Seek` are implemented for `&File`: the OS serializes the
+        // cursor, so guard the seek+read pair with a fresh handle instead.
+        let mut file = self.file.try_clone().map_err(StoreError::io)?;
+        file.seek(SeekFrom::Start(offset)).map_err(StoreError::io)?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf).map_err(StoreError::io)?;
         Ok(buf)
     }
 
@@ -123,15 +162,30 @@ impl Backend for FsBackend {
     fn rename(&self, src: &str, dst: &str) -> Result<(), StoreError> {
         fs::rename(self.path(src), self.path(dst)).map_err(StoreError::io)
     }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(StoreError::io)? {
+            let entry = entry.map_err(StoreError::io)?;
+            if entry.file_type().map_err(StoreError::io)?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
 }
 
-/// One shared in-memory file: bytes behind a lock.
-type MemFileData = Arc<Mutex<Vec<u8>>>;
+/// One shared in-memory file: bytes behind a read-write lock, so shared
+/// positioned reads proceed in parallel.
+type MemFileData = Arc<RwLock<Vec<u8>>>;
 
 /// In-memory backend (the "RAM disk" of paper Experiment 3).
 #[derive(Default, Clone)]
 pub struct MemBackend {
-    files: Arc<Mutex<HashMap<String, MemFileData>>>,
+    files: Arc<RwLock<HashMap<String, MemFileData>>>,
 }
 
 impl MemBackend {
@@ -139,22 +193,35 @@ impl MemBackend {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Deep-copies every file into an independent backend — the crash
+    /// batteries use this to photograph "disk" state at a point in time.
+    pub fn deep_clone(&self) -> MemBackend {
+        let files = self.files.read();
+        let copied: HashMap<String, MemFileData> = files
+            .iter()
+            .map(|(name, data)| (name.clone(), Arc::new(RwLock::new(data.read().clone()))))
+            .collect();
+        MemBackend {
+            files: Arc::new(RwLock::new(copied)),
+        }
+    }
 }
 
 struct MemFile {
-    data: Arc<Mutex<Vec<u8>>>,
+    data: MemFileData,
 }
 
 impl BackendFile for MemFile {
     fn append(&mut self, data: &[u8]) -> Result<u64, StoreError> {
-        let mut buf = self.data.lock();
+        let mut buf = self.data.write();
         let offset = buf.len() as u64;
         buf.extend_from_slice(data);
         Ok(offset)
     }
 
-    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
-        let buf = self.data.lock();
+    fn read_at_shared(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        let buf = self.data.read();
         let start = offset as usize;
         let end = start.checked_add(len).ok_or(StoreError::Corrupt)?;
         if end > buf.len() {
@@ -164,11 +231,11 @@ impl BackendFile for MemFile {
     }
 
     fn len(&mut self) -> Result<u64, StoreError> {
-        Ok(self.data.lock().len() as u64)
+        Ok(self.data.read().len() as u64)
     }
 
     fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
-        let mut buf = self.data.lock();
+        let mut buf = self.data.write();
         buf.truncate(len as usize);
         Ok(())
     }
@@ -180,28 +247,34 @@ impl BackendFile for MemFile {
 
 impl Backend for MemBackend {
     fn open(&self, name: &str) -> Result<Box<dyn BackendFile>, StoreError> {
-        let mut files = self.files.lock();
+        let mut files = self.files.write();
         let data = files
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(Vec::new())))
+            .or_insert_with(|| Arc::new(RwLock::new(Vec::new())))
             .clone();
         Ok(Box::new(MemFile { data }))
     }
 
     fn exists(&self, name: &str) -> Result<bool, StoreError> {
-        Ok(self.files.lock().contains_key(name))
+        Ok(self.files.read().contains_key(name))
     }
 
     fn remove(&self, name: &str) -> Result<(), StoreError> {
-        self.files.lock().remove(name);
+        self.files.write().remove(name);
         Ok(())
     }
 
     fn rename(&self, src: &str, dst: &str) -> Result<(), StoreError> {
-        let mut files = self.files.lock();
+        let mut files = self.files.write();
         let data = files.remove(src).ok_or(StoreError::Corrupt)?;
         files.insert(dst.to_string(), data);
         Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names: Vec<String> = self.files.read().keys().cloned().collect();
+        names.sort();
+        Ok(names)
     }
 }
 
@@ -218,17 +291,22 @@ mod tests {
         assert_eq!(off1, 5);
         assert_eq!(f.read_at(0, 5).unwrap(), b"hello");
         assert_eq!(f.read_at(5, 5).unwrap(), b"world");
+        assert_eq!(f.read_at_shared(0, 5).unwrap(), b"hello");
+        assert_eq!(f.read_at_shared(5, 5).unwrap(), b"world");
         assert_eq!(f.len().unwrap(), 10);
         assert!(f.read_at(6, 10).is_err());
+        assert!(f.read_at_shared(6, 10).is_err());
         f.truncate(5).unwrap();
         assert_eq!(f.len().unwrap(), 5);
         f.sync().unwrap();
         assert!(backend.exists("test.bin").unwrap());
+        assert_eq!(backend.list().unwrap(), vec!["test.bin".to_string()]);
         backend.rename("test.bin", "renamed.bin").unwrap();
         assert!(!backend.exists("test.bin").unwrap());
         assert!(backend.exists("renamed.bin").unwrap());
         backend.remove("renamed.bin").unwrap();
         backend.remove("renamed.bin").unwrap(); // idempotent
+        assert!(backend.list().unwrap().is_empty());
     }
 
     #[test]
@@ -251,6 +329,43 @@ mod tests {
         f1.append(b"abc").unwrap();
         let mut f2 = b.open("f").unwrap();
         assert_eq!(f2.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let b = MemBackend::new();
+        let mut f = b.open("f").unwrap();
+        f.append(b"before").unwrap();
+        let copy = b.deep_clone();
+        f.append(b"-after").unwrap();
+        let mut orig = b.open("f").unwrap();
+        let mut copied = copy.open("f").unwrap();
+        assert_eq!(orig.len().unwrap(), 12);
+        assert_eq!(copied.len().unwrap(), 6);
+        assert_eq!(copied.read_at(0, 6).unwrap(), b"before");
+    }
+
+    #[test]
+    fn shared_reads_race_free() {
+        let b = MemBackend::new();
+        let mut f = b.open("f").unwrap();
+        for i in 0..256u32 {
+            f.append(&i.to_le_bytes()).unwrap();
+        }
+        let f: Arc<dyn BackendFile> = Arc::from(b.open("f").unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in (t..256).step_by(4) {
+                    let bytes = f.read_at_shared(u64::from(i) * 4, 4).unwrap();
+                    assert_eq!(u32::from_le_bytes(bytes.try_into().unwrap()), i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

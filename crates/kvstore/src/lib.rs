@@ -20,10 +20,19 @@
 //! any point leaves either the old or the new checkpoint intact.
 
 pub mod backend;
+mod engine;
 pub mod log;
+mod lsm;
+pub mod merkle;
+mod stats;
 mod store;
 
 pub use backend::{Backend, BackendFile, FsBackend, MemBackend};
+pub use engine::{
+    open_state_store, BaselineStore, EngineKind, MemStore, StateSnapshot, StateStore,
+};
+pub use lsm::{LsmOptions, LsmStore};
+pub use stats::{StorageSnapshot, StorageStats};
 pub use store::{KvStore, Snapshot, StoreConfig, WriteBatch};
 
 /// Errors produced by the store.

@@ -1,0 +1,193 @@
+//! Sharded block cache for decoded segment blocks.
+//!
+//! Keys are `(segment uid, block index)` — uids are process-unique, so a
+//! compacted-away segment's stale blocks can never be served for a new
+//! file reusing its on-disk id. Each cache shard holds an independent
+//! byte budget and lock, so VSCC's parallel readers do not serialize on
+//! one cache-wide mutex.
+//!
+//! Eviction is CLOCK (second-chance): hits set a referenced bit, and the
+//! evictor sweeps a FIFO ring, giving each referenced slot one more lap
+//! before reclaiming it. That keeps inserts amortized O(1) even when a
+//! scan-heavy workload churns the whole budget — an exact LRU victim
+//! search is O(slots) per insert and collapses exactly when the cache is
+//! busiest.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::StorageStats;
+
+use super::segment::DecodedBlock;
+
+struct Slot {
+    data: Arc<DecodedBlock>,
+    bytes: usize,
+    referenced: bool,
+}
+
+struct CacheShard {
+    map: HashMap<(u64, u32), Slot>,
+    /// FIFO sweep order; entries are enqueued once at first insert and
+    /// only leave through the evictor, so the ring never holds stale keys.
+    ring: VecDeque<(u64, u32)>,
+    bytes: usize,
+}
+
+/// Sharded, byte-budgeted CLOCK cache of decoded segment blocks.
+pub(crate) struct BlockCache {
+    shards: Vec<Mutex<CacheShard>>,
+    shard_budget: usize,
+    stats: StorageStats,
+}
+
+impl BlockCache {
+    pub(crate) fn new(total_bytes: usize, shards: usize, stats: StorageStats) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        BlockCache {
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        map: HashMap::new(),
+                        ring: VecDeque::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: (total_bytes / n).max(1),
+            stats,
+        }
+    }
+
+    fn shard(&self, uid: u64, block: u32) -> &Mutex<CacheShard> {
+        let h = uid
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(block).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        &self.shards[(h >> 32) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Looks up a decoded block, counting a hit or miss.
+    pub(crate) fn get(&self, uid: u64, block: u32) -> Option<Arc<DecodedBlock>> {
+        let mut shard = self.shard(uid, block).lock();
+        match shard.map.get_mut(&(uid, block)) {
+            Some(slot) => {
+                slot.referenced = true;
+                self.stats.cache_hit();
+                Some(slot.data.clone())
+            }
+            None => {
+                self.stats.cache_miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded block, sweeping the clock hand past referenced
+    /// slots until the shard is back under its byte budget. Blocks larger
+    /// than a whole shard budget are not cached.
+    pub(crate) fn insert(&self, uid: u64, block: u32, data: Arc<DecodedBlock>) {
+        let bytes = data.footprint();
+        if bytes > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(uid, block).lock();
+        match shard.map.insert(
+            (uid, block),
+            Slot {
+                data,
+                bytes,
+                referenced: false,
+            },
+        ) {
+            Some(old) => shard.bytes -= old.bytes,
+            None => shard.ring.push_back((uid, block)),
+        }
+        shard.bytes += bytes;
+        let mut evicted = 0u64;
+        while shard.bytes > self.shard_budget {
+            let Some(key) = shard.ring.pop_front() else {
+                break;
+            };
+            match shard.map.get_mut(&key) {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    shard.ring.push_back(key);
+                }
+                Some(_) => {
+                    let slot = shard.map.remove(&key).expect("probed above");
+                    shard.bytes -= slot.bytes;
+                    evicted += 1;
+                }
+                None => {}
+            }
+        }
+        if evicted > 0 {
+            self.stats.cache_evicted(evicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(k: &str, bytes: usize) -> Arc<DecodedBlock> {
+        Arc::new(DecodedBlock::from_entries(&[(
+            k.as_bytes().to_vec(),
+            1,
+            Some(vec![0u8; bytes]),
+        )]))
+    }
+
+    #[test]
+    fn hit_miss_and_eviction() {
+        let stats = StorageStats::new();
+        let cache = BlockCache::new(1024, 1, stats.clone());
+        assert!(cache.get(1, 0).is_none());
+        cache.insert(1, 0, block_of("a", 200));
+        assert!(cache.get(1, 0).is_some());
+        // Filling far past the budget evicts the oldest slots.
+        for i in 1..8 {
+            cache.insert(1, i, block_of("b", 200));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.cache_evictions > 0);
+        assert_eq!(snap.cache_hits, 1);
+        assert!(snap.cache_misses >= 1);
+    }
+
+    #[test]
+    fn second_chance_protects_hot_blocks() {
+        let stats = StorageStats::new();
+        let cache = BlockCache::new(1024, 1, stats.clone());
+        cache.insert(1, 0, block_of("hot", 200));
+        assert!(cache.get(1, 0).is_some()); // referenced bit set
+        // Four slots fit the budget; the fifth insert forces an eviction.
+        // The clock hand passes the referenced hot block (second chance)
+        // and reclaims the oldest cold one instead.
+        for i in 1..=4 {
+            cache.insert(1, i, block_of("cold", 200));
+        }
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(1, 1).is_none());
+    }
+
+    #[test]
+    fn oversized_blocks_skip_cache() {
+        let cache = BlockCache::new(64, 1, StorageStats::new());
+        cache.insert(9, 0, block_of("big", 4096));
+        // A miss, but the stats call must not have recorded an insert.
+        assert!(cache.get(9, 0).is_none());
+    }
+
+    #[test]
+    fn distinct_uids_do_not_collide() {
+        let cache = BlockCache::new(4096, 2, StorageStats::new());
+        cache.insert(1, 0, block_of("one", 10));
+        cache.insert(2, 0, block_of("two", 10));
+        assert_eq!(cache.get(1, 0).unwrap().key(0), b"one");
+        assert_eq!(cache.get(2, 0).unwrap().key(0), b"two");
+    }
+}

@@ -1,0 +1,638 @@
+//! Sorted, immutable segment files: the LSM's on-disk level.
+//!
+//! A segment holds every version the flushed memtable had, sorted by
+//! `(key, seq)`, packed into CRC-framed blocks (every version of a key
+//! lives in one block, so a point lookup reads exactly one block). A
+//! sidecar `.idx` file holds the sparse first-key index; it is pure
+//! acceleration — if it is missing, torn, or stale, `open` rebuilds it
+//! from a data-file scan, so only the data file's integrity matters for
+//! crash safety. Both files are written to temp names, synced, and
+//! renamed before the manifest references them (the PandaGen commit-point
+//! discipline): a crash before the manifest record leaves harmless
+//! orphans that recovery deletes.
+
+use std::sync::Arc;
+
+use crate::backend::{Backend, BackendFile};
+use crate::log;
+use crate::stats::StorageStats;
+use crate::StoreError;
+
+use super::cache::BlockCache;
+
+/// One version of one key: `(key, seq, value-or-tombstone)`.
+pub(crate) type SegEntry = (Vec<u8>, u64, Option<Vec<u8>>);
+
+/// One version of a key: `(seq, value-or-tombstone)`.
+pub(crate) type Versioned = (u64, Option<Vec<u8>>);
+
+pub(crate) fn data_name(shard: usize, id: u64) -> String {
+    format!("lsm-seg-{shard}-{id}.dat")
+}
+
+pub(crate) fn index_name(shard: usize, id: u64) -> String {
+    format!("lsm-seg-{shard}-{id}.idx")
+}
+
+pub(crate) fn tmp_name(name: &str) -> String {
+    format!("{name}.tmp")
+}
+
+/// Index entry: first key of a block plus its framed extent in the file.
+struct IndexEntry {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+/// Accounting returned by [`write_segment`].
+pub(crate) struct SegmentMeta {
+    pub max_seq: u64,
+    pub entries: u64,
+    pub bytes: u64,
+}
+
+fn encode_block(entries: &[SegEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (key, seq, value) in entries {
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key);
+        out.extend_from_slice(&seq.to_le_bytes());
+        match value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// One parsed entry: offsets into the block's raw bytes instead of owned
+/// copies, so decoding a block costs two allocations total (the raw
+/// buffer we already read, and this table) rather than two per entry —
+/// the per-entry `Vec` storm used to dominate every cache miss.
+#[derive(Clone, Copy)]
+struct EntryRef {
+    seq: u64,
+    key_off: u32,
+    key_len: u32,
+    val_off: u32,
+    val_len: u32,
+    tombstone: bool,
+}
+
+/// A decoded block: the raw framed bytes plus a flat entry table. Keys
+/// and values are borrowed out of `raw`, which also keeps binary search
+/// walking one contiguous buffer.
+pub(crate) struct DecodedBlock {
+    raw: Vec<u8>,
+    entries: Vec<EntryRef>,
+}
+
+impl DecodedBlock {
+    /// Parses the block payload at `raw[start..]`, taking ownership of
+    /// the buffer; entry text is referenced in place, never copied.
+    fn parse(raw: Vec<u8>, start: usize) -> Result<DecodedBlock, StoreError> {
+        let total = raw.len();
+        let mut pos = start;
+        let take = |pos: &mut usize, n: usize| -> Result<usize, StoreError> {
+            if pos.checked_add(n).is_none_or(|end| end > total) {
+                return Err(StoreError::Corrupt);
+            }
+            let off = *pos;
+            *pos += n;
+            Ok(off)
+        };
+        let off = take(&mut pos, 4)?;
+        let count = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let off = take(&mut pos, 4)?;
+            let klen = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+            let key_off = take(&mut pos, klen)?;
+            let off = take(&mut pos, 8)?;
+            let seq = u64::from_le_bytes(raw[off..off + 8].try_into().unwrap());
+            let off = take(&mut pos, 1)?;
+            let (val_off, val_len, tombstone) = match raw[off] {
+                1 => {
+                    let off = take(&mut pos, 4)?;
+                    let vlen = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+                    (take(&mut pos, vlen)?, vlen, false)
+                }
+                0 => (0, 0, true),
+                _ => return Err(StoreError::Corrupt),
+            };
+            entries.push(EntryRef {
+                seq,
+                key_off: key_off as u32,
+                key_len: klen as u32,
+                val_off: val_off as u32,
+                val_len: val_len as u32,
+                tombstone,
+            });
+        }
+        if pos != total {
+            return Err(StoreError::Corrupt);
+        }
+        Ok(DecodedBlock { raw, entries })
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn key(&self, i: usize) -> &[u8] {
+        let e = &self.entries[i];
+        &self.raw[e.key_off as usize..(e.key_off + e.key_len) as usize]
+    }
+
+    pub(crate) fn seq(&self, i: usize) -> u64 {
+        self.entries[i].seq
+    }
+
+    pub(crate) fn value(&self, i: usize) -> Option<&[u8]> {
+        let e = &self.entries[i];
+        if e.tombstone {
+            None
+        } else {
+            Some(&self.raw[e.val_off as usize..(e.val_off + e.val_len) as usize])
+        }
+    }
+
+    pub(crate) fn to_entry(&self, i: usize) -> SegEntry {
+        (
+            self.key(i).to_vec(),
+            self.seq(i),
+            self.value(i).map(<[u8]>::to_vec),
+        )
+    }
+
+    pub(crate) fn max_seq(&self) -> u64 {
+        self.entries.iter().map(|e| e.seq).max().unwrap_or(0)
+    }
+
+    /// Approximate heap footprint, for the cache's byte budget.
+    pub(crate) fn footprint(&self) -> usize {
+        self.raw.len() + self.entries.len() * std::mem::size_of::<EntryRef>() + 48
+    }
+
+    /// Index of the first entry with `(key, seq)` above the bound — the
+    /// entry just below it is the newest version visible at `at_seq`.
+    pub(crate) fn partition_point(&self, key: &[u8], at_seq: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.entries.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (self.key(mid), self.seq(mid)) <= (key, at_seq) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    #[cfg(test)]
+    pub(crate) fn from_entries(entries: &[SegEntry]) -> DecodedBlock {
+        DecodedBlock::parse(encode_block(entries), 0).expect("valid block")
+    }
+}
+
+fn encode_index(index: &[IndexEntry], entries: u64, max_seq: u64, data_len: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&entries.to_le_bytes());
+    out.extend_from_slice(&max_seq.to_le_bytes());
+    out.extend_from_slice(&data_len.to_le_bytes());
+    out.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    for entry in index {
+        out.extend_from_slice(&(entry.first_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&entry.first_key);
+        out.extend_from_slice(&entry.offset.to_le_bytes());
+        out.extend_from_slice(&entry.len.to_le_bytes());
+    }
+    out
+}
+
+fn decode_index(payload: &[u8]) -> Result<(Vec<IndexEntry>, u64, u64, u64), StoreError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        if *pos + n > payload.len() {
+            return Err(StoreError::Corrupt);
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let entries = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let max_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let data_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let mut index = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let first_key = take(&mut pos, klen)?.to_vec();
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        index.push(IndexEntry {
+            first_key,
+            offset,
+            len,
+        });
+    }
+    if pos != payload.len() {
+        return Err(StoreError::Corrupt);
+    }
+    Ok((index, entries, max_seq, data_len))
+}
+
+/// Writes segment `id` of `shard` from `entries` (sorted by key, then
+/// ascending seq within a key). Both files are durable and renamed into
+/// place on return; the caller then commits them via its manifest.
+pub(crate) fn write_segment(
+    backend: &dyn Backend,
+    shard: usize,
+    id: u64,
+    block_bytes: usize,
+    entries: &[SegEntry],
+) -> Result<SegmentMeta, StoreError> {
+    let data = data_name(shard, id);
+    let idx = index_name(shard, id);
+    let data_tmp = tmp_name(&data);
+    let idx_tmp = tmp_name(&idx);
+    backend.remove(&data_tmp)?;
+    backend.remove(&idx_tmp)?;
+
+    let mut file = backend.open(&data_tmp)?;
+    let mut index: Vec<IndexEntry> = Vec::new();
+    let mut block: Vec<SegEntry> = Vec::new();
+    let mut block_size = 0usize;
+    let mut max_seq = 0u64;
+    let mut offset = 0u64;
+
+    let flush_block = |block: &mut Vec<SegEntry>,
+                           offset: &mut u64,
+                           file: &mut Box<dyn BackendFile>,
+                           index: &mut Vec<IndexEntry>|
+     -> Result<(), StoreError> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        let payload = encode_block(block);
+        let start = log::append_record(file.as_mut(), &payload)?;
+        index.push(IndexEntry {
+            first_key: block[0].0.clone(),
+            offset: start,
+            len: (payload.len() + 8) as u32,
+        });
+        *offset = start + 8 + payload.len() as u64;
+        block.clear();
+        Ok(())
+    };
+
+    for entry in entries {
+        // Cut blocks only between distinct keys so a key's whole version
+        // chain is always co-located in one block.
+        if block_size >= block_bytes
+            && block.last().map(|(k, _, _)| k) != Some(&entry.0)
+        {
+            flush_block(&mut block, &mut offset, &mut file, &mut index)?;
+            block_size = 0;
+        }
+        max_seq = max_seq.max(entry.1);
+        block_size += entry.0.len() + entry.2.as_ref().map_or(0, Vec::len) + 16;
+        block.push(entry.clone());
+    }
+    flush_block(&mut block, &mut offset, &mut file, &mut index)?;
+    file.sync()?;
+    let data_len = file.len()?;
+    drop(file);
+
+    let mut idx_file = backend.open(&idx_tmp)?;
+    log::append_record(
+        idx_file.as_mut(),
+        &encode_index(&index, entries.len() as u64, max_seq, data_len),
+    )?;
+    idx_file.sync()?;
+    drop(idx_file);
+
+    backend.rename(&idx_tmp, &idx)?;
+    backend.rename(&data_tmp, &data)?;
+    Ok(SegmentMeta {
+        max_seq,
+        entries: entries.len() as u64,
+        bytes: data_len,
+    })
+}
+
+/// An open, immutable segment. Reads use the shared positioned-read path,
+/// so concurrent lookups never serialize on a file lock.
+pub(crate) struct Segment {
+    pub id: u64,
+    /// Process-unique cache namespace (never reused, unlike `id`).
+    pub uid: u64,
+    file: Box<dyn BackendFile>,
+    index: Vec<IndexEntry>,
+    pub max_seq: u64,
+    pub entries: u64,
+    /// Valid data-file bytes; drives size-tiered compaction picks.
+    pub bytes: u64,
+}
+
+impl Segment {
+    /// Opens segment `id`, preferring the sidecar index and rebuilding it
+    /// from the data file when it is missing or does not match.
+    pub(crate) fn open(
+        backend: &dyn Backend,
+        shard: usize,
+        id: u64,
+        uid: u64,
+    ) -> Result<Segment, StoreError> {
+        let mut file = backend.open(&data_name(shard, id))?;
+        let file_len = file.len()?;
+
+        if backend.exists(&index_name(shard, id))? {
+            let mut idx_file = backend.open(&index_name(shard, id))?;
+            let (records, _) = log::read_all(idx_file.as_mut())?;
+            if let Some(payload) = records.first() {
+                if let Ok((index, entries, max_seq, data_len)) = decode_index(payload) {
+                    if data_len == file_len {
+                        return Ok(Segment {
+                            id,
+                            uid,
+                            file,
+                            index,
+                            max_seq,
+                            entries,
+                            bytes: data_len,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Index missing or stale: rebuild from a full data scan.
+        let mut index = Vec::new();
+        let mut entries = 0u64;
+        let mut max_seq = 0u64;
+        let mut offset = 0u64;
+        while offset + 8 <= file_len {
+            let header = file.read_at_shared(offset, 8)?;
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as u64;
+            let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+            if offset + 8 + len > file_len {
+                break;
+            }
+            let frame = file.read_at_shared(offset, (8 + len) as usize)?;
+            if log::crc32(&frame[8..]) != crc {
+                break;
+            }
+            let Ok(block) = DecodedBlock::parse(frame, 8) else {
+                break;
+            };
+            if block.is_empty() {
+                break;
+            }
+            index.push(IndexEntry {
+                first_key: block.key(0).to_vec(),
+                offset,
+                len: (len + 8) as u32,
+            });
+            entries += block.len() as u64;
+            max_seq = max_seq.max(block.max_seq());
+            offset += 8 + len;
+        }
+
+        // Heal the sidecar (best effort; liveness never depends on it).
+        let idx = index_name(shard, id);
+        let idx_tmp = tmp_name(&idx);
+        if backend.remove(&idx_tmp).is_ok() {
+            if let Ok(mut idx_file) = backend.open(&idx_tmp) {
+                let ok = log::append_record(
+                    idx_file.as_mut(),
+                    &encode_index(&index, entries, max_seq, offset),
+                )
+                .is_ok()
+                    && idx_file.sync().is_ok();
+                drop(idx_file);
+                if ok {
+                    backend.rename(&idx_tmp, &idx).ok();
+                }
+            }
+        }
+
+        Ok(Segment {
+            id,
+            uid,
+            file,
+            index,
+            max_seq,
+            entries,
+            bytes: offset,
+        })
+    }
+
+    /// Index of the block that could contain `key`, if any.
+    fn block_for(&self, key: &[u8]) -> Option<usize> {
+        let idx = self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= key);
+        idx.checked_sub(1)
+    }
+
+    /// Reads and decodes block `i`, going through the cache when given.
+    fn block(
+        &self,
+        i: usize,
+        cache: Option<(&BlockCache, &StorageStats)>,
+    ) -> Result<Arc<DecodedBlock>, StoreError> {
+        if let Some((cache, _)) = cache {
+            if let Some(hit) = cache.get(self.uid, i as u32) {
+                return Ok(hit);
+            }
+        }
+        let entry = &self.index[i];
+        let frame = self.file.read_at_shared(entry.offset, entry.len as usize)?;
+        if frame.len() < 8 {
+            return Err(StoreError::Corrupt);
+        }
+        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        if log::crc32(&frame[8..]) != crc {
+            return Err(StoreError::Corrupt);
+        }
+        let block = Arc::new(DecodedBlock::parse(frame, 8)?);
+        if let Some((cache, stats)) = cache {
+            stats.segment_read();
+            cache.insert(self.uid, i as u32, block.clone());
+        }
+        Ok(block)
+    }
+
+    /// Newest version of `key` at or below `at_seq` within this segment:
+    /// `Some((seq, value-or-tombstone))` if one exists.
+    pub(crate) fn lookup(
+        &self,
+        key: &[u8],
+        at_seq: u64,
+        cache: Option<(&BlockCache, &StorageStats)>,
+    ) -> Result<Option<Versioned>, StoreError> {
+        let Some(i) = self.block_for(key) else {
+            return Ok(None);
+        };
+        let block = self.block(i, cache)?;
+        // Entries sort ascending by (key, seq): the element just below
+        // the (key, at_seq] bound is the newest visible version, if its
+        // key matches at all.
+        let pos = block.partition_point(key, at_seq);
+        Ok(pos
+            .checked_sub(1)
+            .filter(|&p| block.key(p) == key)
+            .map(|p| (block.seq(p), block.value(p).map(<[u8]>::to_vec))))
+    }
+
+    /// Folds this segment's `[start, end)` versions at `at_seq` into
+    /// `best`, keeping the highest-seq version per key.
+    pub(crate) fn scan_into(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        at_seq: u64,
+        best: &mut std::collections::BTreeMap<Vec<u8>, Versioned>,
+        cache: Option<(&BlockCache, &StorageStats)>,
+    ) -> Result<(), StoreError> {
+        let from = if start.is_empty() {
+            0
+        } else {
+            self.block_for(start).unwrap_or(0)
+        };
+        for i in from..self.index.len() {
+            if !end.is_empty() && self.index[i].first_key.as_slice() >= end {
+                break;
+            }
+            let block = self.block(i, cache)?;
+            for e in 0..block.len() {
+                let key = block.key(e);
+                if key < start || (!end.is_empty() && key >= end) {
+                    continue;
+                }
+                let seq = block.seq(e);
+                if seq > at_seq {
+                    continue;
+                }
+                match best.get_mut(key) {
+                    Some(slot) if slot.0 >= seq => {}
+                    Some(slot) => *slot = (seq, block.value(e).map(<[u8]>::to_vec)),
+                    None => {
+                        best.insert(key.to_vec(), (seq, block.value(e).map(<[u8]>::to_vec)));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every version in the segment, in `(key, seq)` order (compaction).
+    pub(crate) fn iter_all(&self) -> Result<Vec<SegEntry>, StoreError> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        for i in 0..self.index.len() {
+            let block = self.block(i, None)?;
+            out.extend((0..block.len()).map(|e| block.to_entry(e)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn sample_entries() -> Vec<SegEntry> {
+        vec![
+            (b"a".to_vec(), 1, Some(b"1".to_vec())),
+            (b"a".to_vec(), 3, Some(b"3".to_vec())),
+            (b"b".to_vec(), 2, None),
+            (b"c".to_vec(), 4, Some(b"4".to_vec())),
+        ]
+    }
+
+    #[test]
+    fn write_open_lookup_round_trip() {
+        let backend = MemBackend::new();
+        let meta = write_segment(&backend, 0, 1, 64, &sample_entries()).unwrap();
+        assert_eq!(meta.entries, 4);
+        assert_eq!(meta.max_seq, 4);
+        let seg = Segment::open(&backend, 0, 1, 100).unwrap();
+        assert_eq!(seg.entries, 4);
+        assert_eq!(seg.lookup(b"a", u64::MAX, None).unwrap(), Some((3, Some(b"3".to_vec()))));
+        assert_eq!(seg.lookup(b"a", 2, None).unwrap(), Some((1, Some(b"1".to_vec()))));
+        assert_eq!(seg.lookup(b"a", 0, None).unwrap(), None);
+        assert_eq!(seg.lookup(b"b", u64::MAX, None).unwrap(), Some((2, None)));
+        assert_eq!(seg.lookup(b"zz", u64::MAX, None).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_and_healed() {
+        let backend = MemBackend::new();
+        write_segment(&backend, 0, 7, 16, &sample_entries()).unwrap();
+        backend.remove(&index_name(0, 7)).unwrap();
+        let seg = Segment::open(&backend, 0, 7, 1).unwrap();
+        assert_eq!(seg.entries, 4);
+        assert_eq!(seg.max_seq, 4);
+        assert_eq!(
+            seg.lookup(b"c", u64::MAX, None).unwrap(),
+            Some((4, Some(b"4".to_vec())))
+        );
+        // The sidecar was rewritten.
+        assert!(backend.exists(&index_name(0, 7)).unwrap());
+    }
+
+    #[test]
+    fn torn_index_falls_back_to_scan() {
+        let backend = MemBackend::new();
+        write_segment(&backend, 0, 2, 16, &sample_entries()).unwrap();
+        {
+            let mut f = backend.open(&index_name(0, 2)).unwrap();
+            let len = f.len().unwrap();
+            f.truncate(len / 2).unwrap();
+        }
+        let seg = Segment::open(&backend, 0, 2, 1).unwrap();
+        assert_eq!(seg.entries, 4);
+    }
+
+    #[test]
+    fn scan_into_respects_bounds_and_seq() {
+        let backend = MemBackend::new();
+        write_segment(&backend, 0, 3, 16, &sample_entries()).unwrap();
+        let seg = Segment::open(&backend, 0, 3, 1).unwrap();
+        let mut best = std::collections::BTreeMap::new();
+        seg.scan_into(b"a", b"c", 3, &mut best, None).unwrap();
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[&b"a".to_vec()], (3, Some(b"3".to_vec())));
+        assert_eq!(best[&b"b".to_vec()], (2, None));
+    }
+
+    #[test]
+    fn iter_all_preserves_order() {
+        let backend = MemBackend::new();
+        let entries = sample_entries();
+        write_segment(&backend, 1, 9, 16, &entries).unwrap();
+        let seg = Segment::open(&backend, 1, 9, 1).unwrap();
+        assert_eq!(seg.iter_all().unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let backend = MemBackend::new();
+        write_segment(&backend, 0, 4, 16, &[]).unwrap();
+        let seg = Segment::open(&backend, 0, 4, 1).unwrap();
+        assert_eq!(seg.entries, 0);
+        assert_eq!(seg.lookup(b"x", u64::MAX, None).unwrap(), None);
+    }
+}

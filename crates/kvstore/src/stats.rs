@@ -1,0 +1,171 @@
+//! Storage-engine counters: cache traffic, flush/compaction work, and
+//! write-stall time.
+//!
+//! The counters are lock-free atomics shared by every component of a
+//! store (shards, cache, background worker). The peer's pipeline folds a
+//! [`StorageSnapshot`] into its `PipelineStats`, so bench claims about
+//! cache hit rates and compaction volume are measured, not asserted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Counters {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    segment_reads: AtomicU64,
+    flushes: AtomicU64,
+    flushed_bytes: AtomicU64,
+    flush_us: AtomicU64,
+    compactions: AtomicU64,
+    compacted_bytes: AtomicU64,
+    compact_us: AtomicU64,
+    dropped_versions: AtomicU64,
+    write_stalls: AtomicU64,
+    stall_us: AtomicU64,
+}
+
+/// Shared handle to one store's counters. Cloning shares the counters.
+#[derive(Clone, Default)]
+pub struct StorageStats {
+    inner: Arc<Counters>,
+}
+
+impl StorageStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn cache_evicted(&self, n: u64) {
+        self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn segment_read(&self) {
+        self.inner.segment_reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn flushed(&self, bytes: u64, took: Duration) {
+        self.inner.flushes.fetch_add(1, Ordering::Relaxed);
+        self.inner.flushed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .flush_us
+            .fetch_add(took.as_micros() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn compacted(&self, bytes: u64, dropped_versions: u64, took: Duration) {
+        self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .compacted_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .dropped_versions
+            .fetch_add(dropped_versions, Ordering::Relaxed);
+        self.inner
+            .compact_us
+            .fetch_add(took.as_micros() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn stalled(&self, took: Duration) {
+        self.inner.write_stalls.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stall_us
+            .fetch_add(took.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StorageSnapshot {
+        let c = &self.inner;
+        StorageSnapshot {
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: c.cache_evictions.load(Ordering::Relaxed),
+            segment_reads: c.segment_reads.load(Ordering::Relaxed),
+            flushes: c.flushes.load(Ordering::Relaxed),
+            flushed_bytes: c.flushed_bytes.load(Ordering::Relaxed),
+            flush_us: c.flush_us.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            compacted_bytes: c.compacted_bytes.load(Ordering::Relaxed),
+            compact_us: c.compact_us.load(Ordering::Relaxed),
+            dropped_versions: c.dropped_versions.load(Ordering::Relaxed),
+            write_stalls: c.write_stalls.load(Ordering::Relaxed),
+            stall_us: c.stall_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time storage counters (all zero for engines that do not
+/// flush, compact, or cache — the baseline and pure-memory backends).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageSnapshot {
+    /// Block-cache hits on segment reads.
+    pub cache_hits: u64,
+    /// Block-cache misses (each one is a segment file read).
+    pub cache_misses: u64,
+    /// Blocks evicted from the cache by the byte budget.
+    pub cache_evictions: u64,
+    /// Segment block reads that went to the backend.
+    pub segment_reads: u64,
+    /// Memtable flushes completed.
+    pub flushes: u64,
+    /// Bytes written into segments by flushes.
+    pub flushed_bytes: u64,
+    /// Wall-clock spent flushing, in microseconds.
+    pub flush_us: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Bytes written by compactions.
+    pub compacted_bytes: u64,
+    /// Wall-clock spent compacting, in microseconds.
+    pub compact_us: u64,
+    /// Obsolete versions and dead tombstones dropped by compaction.
+    pub dropped_versions: u64,
+    /// Writes that had to wait for a flush to drain.
+    pub write_stalls: u64,
+    /// Total time writers spent stalled, in microseconds.
+    pub stall_us: u64,
+}
+
+impl StorageSnapshot {
+    /// Cache hit rate in [0, 1]; 0 when the cache saw no traffic.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let stats = StorageStats::new();
+        let shared = stats.clone();
+        stats.cache_hit();
+        shared.cache_hit();
+        shared.cache_miss();
+        stats.flushed(100, Duration::from_micros(5));
+        stats.compacted(40, 3, Duration::from_micros(7));
+        stats.stalled(Duration::from_micros(11));
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.flushed_bytes, 100);
+        assert_eq!(snap.compactions, 1);
+        assert_eq!(snap.compacted_bytes, 40);
+        assert_eq!(snap.dropped_versions, 3);
+        assert_eq!(snap.write_stalls, 1);
+        assert_eq!(snap.stall_us, 11);
+        assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

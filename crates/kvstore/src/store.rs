@@ -12,6 +12,7 @@ use crate::log;
 use crate::StoreError;
 
 const WAL_FILE: &str = "wal.log";
+const WAL_TMP: &str = "wal.tmp";
 const CHECKPOINT_FILE: &str = "checkpoint.db";
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
@@ -73,6 +74,16 @@ impl WriteBatch {
     /// Returns `true` if the batch holds no operations.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// The batch's operations in insertion order (`None` = delete).
+    pub(crate) fn ops(&self) -> &[(Vec<u8>, Option<Vec<u8>>)] {
+        &self.ops
+    }
+
+    /// Consumes the batch into its operation list.
+    pub(crate) fn into_ops(self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.ops
     }
 
     fn serialize(&self, seq: u64) -> Vec<u8> {
@@ -164,12 +175,18 @@ impl KvStore {
         if backend.exists(CHECKPOINT_FILE)? {
             let mut f = backend.open(CHECKPOINT_FILE)?;
             let (records, _) = log::read_all(f.as_mut())?;
-            let payload = records.first().ok_or(StoreError::Corrupt)?;
-            let (ck_seq, batch) = WriteBatch::deserialize(payload)?;
-            checkpoint_seq = ck_seq;
-            seq = ck_seq;
-            for (key, value) in batch.ops {
-                map.insert(key, vec![(ck_seq, value)]);
+            if records.is_empty() {
+                return Err(StoreError::Corrupt);
+            }
+            // A checkpoint is a header record plus zero or more chunk
+            // records, all stamped with the same seq.
+            for payload in &records {
+                let (ck_seq, batch) = WriteBatch::deserialize(payload)?;
+                checkpoint_seq = ck_seq;
+                seq = ck_seq;
+                for (key, value) in batch.ops {
+                    map.insert(key, vec![(ck_seq, value)]);
+                }
             }
         }
 
@@ -268,37 +285,79 @@ impl KvStore {
         scan_at(&self.inner, start, end, u64::MAX)
     }
 
-    /// Writes a checkpoint of the latest state and truncates the WAL.
+    /// Writes a checkpoint and drops the WAL records it covers.
     ///
-    /// After a successful checkpoint, recovery no longer needs the log.
+    /// The checkpoint serializes from an MVCC snapshot in bounded chunks,
+    /// re-acquiring the state lock per chunk, so writers are never held
+    /// out during checkpoint file I/O. The WAL is rewritten (keeping only
+    /// records newer than the checkpoint) via temp-file + rename, so a
+    /// crash at any point leaves a recoverable pair of files. After a
+    /// successful checkpoint, recovery no longer replays covered records.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        let (payload, seq) = {
-            let state = self.inner.state.lock();
-            let mut batch = WriteBatch::new();
-            for (key, chain) in &state.map {
-                if let Some(value) = resolve(Some(chain), u64::MAX) {
-                    batch.put(key.clone(), value);
+        // Keys examined per lock acquisition while streaming the state.
+        const CHUNK_KEYS: usize = 512;
+        let snap = self.snapshot();
+        let ck_seq = snap.seq();
+
+        self.inner.backend.remove(CHECKPOINT_TMP)?;
+        let mut tmp = self.inner.backend.open(CHECKPOINT_TMP)?;
+        // Header record: carries the checkpoint seq even for empty states.
+        log::append_record(tmp.as_mut(), &WriteBatch::new().serialize(ck_seq))?;
+        let mut cursor: Option<Vec<u8>> = Some(Vec::new());
+        while let Some(from) = cursor.take() {
+            let batch = {
+                let state = self.inner.state.lock();
+                let mut batch = WriteBatch::new();
+                for (examined, (key, chain)) in state
+                    .map
+                    .range::<[u8], _>((Bound::Included(from.as_slice()), Bound::Unbounded))
+                    .enumerate()
+                {
+                    if examined == CHUNK_KEYS {
+                        cursor = Some(key.clone());
+                        break;
+                    }
+                    if let Some(value) = resolve(Some(chain), ck_seq) {
+                        batch.put(key.clone(), value);
+                    }
+                }
+                batch
+            };
+            if !batch.is_empty() {
+                log::append_record(tmp.as_mut(), &batch.serialize(ck_seq))?;
+            }
+        }
+        tmp.sync()?;
+        drop(tmp);
+        self.inner.backend.rename(CHECKPOINT_TMP, CHECKPOINT_FILE)?;
+        drop(snap);
+
+        // Shed covered WAL records. Writes committed while the checkpoint
+        // streamed must survive, so the WAL is rewritten to a fresh file
+        // and atomically swapped in; the lock is held only for that tail
+        // rewrite, which is O(writes since the snapshot), not O(state).
+        let mut state = self.inner.state.lock();
+        let mut wal = self.inner.wal.lock();
+        if state.seq == ck_seq {
+            wal.truncate(0)?;
+        } else {
+            let (records, _) = log::read_all(wal.as_mut())?;
+            self.inner.backend.remove(WAL_TMP)?;
+            let mut fresh = self.inner.backend.open(WAL_TMP)?;
+            for payload in &records {
+                let (batch_seq, _) = WriteBatch::deserialize(payload)?;
+                if batch_seq > ck_seq {
+                    log::append_record(fresh.as_mut(), payload)?;
                 }
             }
-            (batch.serialize(state.seq), state.seq)
-        };
-        {
-            self.inner.backend.remove(CHECKPOINT_TMP)?;
-            let mut tmp = self.inner.backend.open(CHECKPOINT_TMP)?;
-            log::append_record(tmp.as_mut(), &payload)?;
-            tmp.sync()?;
+            if self.inner.sync_writes {
+                fresh.sync()?;
+            }
+            drop(fresh);
+            self.inner.backend.rename(WAL_TMP, WAL_FILE)?;
+            *wal = self.inner.backend.open(WAL_FILE)?;
         }
-        self.inner.backend.rename(CHECKPOINT_TMP, CHECKPOINT_FILE)?;
-        // Truncate the WAL: all records up to `seq` are now in the
-        // checkpoint. Writes can't run concurrently with the truncation
-        // because `write` holds the state lock while appending; we take it
-        // too.
-        let mut state = self.inner.state.lock();
-        if state.seq == seq {
-            let mut wal = self.inner.wal.lock();
-            wal.truncate(0)?;
-        }
-        state.checkpoint_seq = seq;
+        state.checkpoint_seq = ck_seq;
         Ok(())
     }
 

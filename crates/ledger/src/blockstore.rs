@@ -57,6 +57,9 @@ struct Index {
 /// Persistent, indexed storage of the block chain.
 pub struct BlockStore {
     file: Mutex<Box<dyn BackendFile>>,
+    /// Dedicated read handle: block fetches use positioned shared reads and
+    /// never contend with appends on the writer lock.
+    reader: Box<dyn BackendFile>,
     base_file: Mutex<Box<dyn BackendFile>>,
     index: RwLock<Index>,
     sync_writes: bool,
@@ -115,8 +118,10 @@ impl BlockStore {
             Self::index_block(&mut index, &block, offset, payload.len());
             offset += 8 + payload.len() as u64;
         }
+        let reader = backend.open(BLOCKS_FILE)?;
         Ok(BlockStore {
             file: Mutex::new(file),
+            reader,
             base_file: Mutex::new(base_file),
             index: RwLock::new(index),
             sync_writes,
@@ -236,7 +241,7 @@ impl BlockStore {
                 None => return Ok(None),
             }
         };
-        let payload = self.file.lock().read_at(offset + 8, len)?;
+        let payload = self.reader.read_at_shared(offset + 8, len)?;
         let block = Block::from_wire(&payload).map_err(|_| LedgerError::Corrupt)?;
         Ok(Some(block))
     }

@@ -15,8 +15,9 @@
 //!   persists the savepoint in the same atomic batch.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
-use fabric_kvstore::{KvStore, Snapshot, WriteBatch};
+use fabric_kvstore::{StateSnapshot, StateStore, WriteBatch};
 use fabric_primitives::block::Block;
 use fabric_primitives::ids::{TxId, TxValidationCode, Version};
 use fabric_primitives::rwset::{KeyRead, KeyWrite, NsReadWriteSet, RangeQueryInfo, TxReadWriteSet};
@@ -85,15 +86,15 @@ fn decode_value(raw: &[u8]) -> Result<(Version, Vec<u8>), LedgerError> {
     Ok((Version::new(block_num, tx_num), raw[12..].to_vec()))
 }
 
-/// The peer transaction manager over a [`KvStore`].
+/// The peer transaction manager over a pluggable [`StateStore`] engine.
 #[derive(Clone)]
 pub struct Ptm {
-    store: KvStore,
+    store: Arc<dyn StateStore>,
 }
 
 impl Ptm {
-    /// Wraps a key-value store as the versioned state database.
-    pub fn new(store: KvStore) -> Self {
+    /// Wraps a state-store engine as the versioned state database.
+    pub fn new(store: Arc<dyn StateStore>) -> Self {
         Ptm { store }
     }
 
@@ -348,7 +349,7 @@ impl Ptm {
     }
 
     /// Access to the underlying store (checkpointing, stats).
-    pub fn store(&self) -> &KvStore {
+    pub fn store(&self) -> &Arc<dyn StateStore> {
         &self.store
     }
 }
@@ -361,7 +362,7 @@ impl Ptm {
 /// transaction that writes a key and reads it back within the same
 /// simulation observes the pre-transaction value.
 pub struct TxSimulator {
-    snap: Snapshot,
+    snap: Box<dyn StateSnapshot>,
     namespaces: BTreeMap<String, NsBuilder>,
 }
 

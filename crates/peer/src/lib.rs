@@ -136,6 +136,7 @@ pub(crate) mod tests {
                 vscc_parallelism: 2,
                 runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                 sync_writes: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -467,6 +468,7 @@ pub(crate) mod tests {
                     vscc_parallelism: 1,
                     runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                     sync_writes: false,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -553,6 +555,7 @@ pub(crate) mod tests {
                 vscc_parallelism: 1,
                 runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                 sync_writes: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -622,6 +625,7 @@ pub(crate) mod tests {
                     vscc_parallelism: 1,
                     runtime: fabric_chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                     sync_writes: false,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -37,6 +37,9 @@ pub struct PeerConfig {
     pub runtime: RuntimeConfig,
     /// Whether ledger writes are fsync'd (SSD vs RAM-disk experiments).
     pub sync_writes: bool,
+    /// State-database engine (baseline memtable, pure in-memory, or the
+    /// sharded LSM).
+    pub engine: fabric_kvstore::EngineKind,
 }
 
 impl Default for PeerConfig {
@@ -47,6 +50,7 @@ impl Default for PeerConfig {
                 .unwrap_or(4),
             runtime: RuntimeConfig::default(),
             sync_writes: false,
+            engine: fabric_kvstore::EngineKind::default(),
         }
     }
 }
@@ -87,7 +91,10 @@ impl Peer {
         registry.install(LSCC_NAMESPACE, Arc::new(Lscc));
         let runtime = Arc::new(ChaincodeRuntime::new(registry, config.runtime));
 
-        let ledger = Arc::new(Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?);
+        let ledger = Arc::new(
+            Ledger::open_with(backend, config.sync_writes, &config.engine)
+                .map_err(PeerError::Ledger)?,
+        );
         let peer = Peer {
             endorser: Arc::new(Endorser::new(identity.clone(), runtime.clone(), view.clone())),
             committer: Committer::new(view.clone(), config.vscc_parallelism),
@@ -143,12 +150,23 @@ impl Peer {
         let registry = Arc::new(ChaincodeRegistry::new());
         registry.install(LSCC_NAMESPACE, Arc::new(Lscc));
         let runtime = Arc::new(ChaincodeRuntime::new(registry, config.runtime));
-        let ledger = Arc::new(Ledger::open(backend, config.sync_writes).map_err(PeerError::Ledger)?);
+        let ledger = Arc::new(
+            Ledger::open_with(backend, config.sync_writes, &config.engine)
+                .map_err(PeerError::Ledger)?,
+        );
         if ledger.height() == 0 {
             let m = &manifest.manifest;
             ledger
                 .install_snapshot(m.height, m.block_hash, m.last_config, entries)
                 .map_err(PeerError::Ledger)?;
+            // The engine's incremental Merkle root must land exactly on the
+            // root the manifest signer committed to — a byte-level check of
+            // the installed state without rehashing the entry stream.
+            if ledger.state_root() != m.state_root {
+                return Err(PeerError::Snapshot(fabric_statesync::SyncError::Corrupt(
+                    "installed state root does not match the signed manifest".into(),
+                )));
+            }
         }
         Ok(Peer {
             endorser: Arc::new(Endorser::new(identity.clone(), runtime.clone(), view.clone())),

@@ -61,6 +61,10 @@ pub struct Manifest {
     pub block_hash: Digest,
     /// Number of the latest configuration block at snapshot time.
     pub last_config: u64,
+    /// Incremental Merkle root of the state database at snapshot time, as
+    /// maintained by the storage engine. A consumer verifies its installed
+    /// state against this without rehashing the entry stream.
+    pub state_root: Digest,
     /// Chunk size (bytes) the snapshot was cut with; only the final chunk
     /// may be shorter.
     pub chunk_bytes: u32,
@@ -87,6 +91,7 @@ impl Wire for Manifest {
         enc.put_u64(self.height);
         enc.put_raw(&self.block_hash);
         enc.put_u64(self.last_config);
+        enc.put_raw(&self.state_root);
         enc.put_u32(self.chunk_bytes);
         enc.put_seq(&self.segments, |e, s| s.encode(e));
     }
@@ -96,6 +101,7 @@ impl Wire for Manifest {
             height: dec.get_u64()?,
             block_hash: dec.get_array32()?,
             last_config: dec.get_u64()?,
+            state_root: dec.get_array32()?,
             chunk_bytes: dec.get_u32()?,
             segments: dec.get_seq(SegmentInfo::decode)?,
         })

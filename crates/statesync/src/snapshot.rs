@@ -136,6 +136,7 @@ pub fn build_snapshot(
         height,
         block_hash: ledger.last_hash(),
         last_config: ledger.last_config(),
+        state_root: ledger.state_root(),
         chunk_bytes: chunk_bytes as u32,
         segments: infos,
     };
@@ -151,6 +152,9 @@ pub struct Checkpointer {
     config: SnapshotConfig,
     channel: ChannelId,
     last_height: u64,
+    /// State root of the last produced snapshot, from the engine's
+    /// incrementally-maintained Merkle tree (O(1) to read).
+    last_root: Option<fabric_crypto::Digest>,
 }
 
 impl Checkpointer {
@@ -160,6 +164,7 @@ impl Checkpointer {
             config,
             channel,
             last_height: 0,
+            last_root: None,
         }
     }
 
@@ -179,8 +184,18 @@ impl Checkpointer {
         if height < self.last_height + self.config.interval {
             return Ok(None);
         }
+        // The engine maintains the state root incrementally, so this is an
+        // O(1) read — no scan, no rehash. If the state has not changed
+        // since the last checkpoint (empty or all-invalid blocks), skip
+        // cutting a byte-identical snapshot and just restart the interval.
+        let root = ledger.state_root();
+        if self.last_root == Some(root) {
+            self.last_height = height;
+            return Ok(None);
+        }
         let snapshot = build_snapshot(ledger, &self.channel, signer, &self.config)?;
         self.last_height = height;
+        self.last_root = Some(root);
         Ok(Some(snapshot))
     }
 }

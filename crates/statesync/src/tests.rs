@@ -442,4 +442,48 @@ fn installed_snapshot_matches_source_ledger() {
     assert_eq!(target.height(), manifest.height);
     assert_eq!(target.last_hash(), manifest.block_hash);
     assert_eq!(target.state_entries(), entries);
+    // The installed state's incremental Merkle root lands exactly on the
+    // root the manifest bound — O(1) on both sides, no entry rehash.
+    assert_eq!(target.state_root(), manifest.state_root);
+}
+
+#[test]
+fn manifest_state_root_binds_installed_state() {
+    let (_, signer) = msp_setup();
+    let source = populated_ledger(3);
+    let snapshot = build_snapshot(&source, &channel(), &signer, &small_config()).unwrap();
+    let m = &snapshot.manifest.manifest;
+    assert_eq!(m.state_root, source.state_root());
+
+    let entries = decode_entries(m, &snapshot.segments).unwrap();
+    let target = Ledger::in_memory();
+    target
+        .install_snapshot(m.height, m.block_hash, m.last_config, &entries)
+        .unwrap();
+    assert_eq!(target.state_root(), m.state_root);
+
+    // Tampering with any installed entry moves the root off the manifest.
+    let mut tampered = entries.clone();
+    tampered[0].1.push(0xFF);
+    let other = Ledger::in_memory();
+    other
+        .install_snapshot(m.height, m.block_hash, m.last_config, &tampered)
+        .unwrap();
+    assert_ne!(other.state_root(), m.state_root);
+}
+
+#[test]
+fn checkpointer_skips_byte_identical_state() {
+    let (_, signer) = msp_setup();
+    let ledger = populated_ledger(2);
+    let mut config = small_config();
+    config.interval = 0; // continuous mode: every call passes the gate
+    let mut cp = Checkpointer::new(channel(), config);
+    assert!(cp.maybe_checkpoint(&ledger, &signer).unwrap().is_some());
+    // Nothing committed since: the O(1) incremental root is unchanged, so
+    // the checkpointer skips cutting a byte-identical snapshot.
+    assert!(cp.maybe_checkpoint(&ledger, &signer).unwrap().is_none());
+    // A commit moves the root and checkpointing resumes.
+    commit_writes(&ledger, 9, &[("k", vec![9; 8])]);
+    assert!(cp.maybe_checkpoint(&ledger, &signer).unwrap().is_some());
 }

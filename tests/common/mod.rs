@@ -221,6 +221,7 @@ pub fn make_peer(
             vscc_parallelism,
             runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
             sync_writes: false,
+            ..Default::default()
         },
     )
     .expect("peer joins channel");

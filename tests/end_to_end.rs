@@ -78,6 +78,7 @@ impl World {
                         vscc_parallelism: 2,
                         runtime: fabric::chaincode::RuntimeConfig { exec_timeout: None, ..Default::default() },
                         sync_writes: false,
+                        ..Default::default()
                     },
                 )
                 .expect("peer joins");

@@ -43,6 +43,7 @@ fn faulty_peer(world: &PipelineWorld, name: &str, timeout: Duration) -> Peer {
                 },
             },
             sync_writes: false,
+            ..Default::default()
         },
     )
     .expect("peer joins");
