@@ -12,11 +12,20 @@
 #     acceptance bound is calibrated against.
 #  5. The endorsement battery (equivalence proptests + fault injection)
 #     re-runs on its own so a tier-1 wobble can't mask it.
-#  6. The snapshot catch-up, multi-channel overlap, and endorsement
-#     overlap benches complete a smoke sweep (~20 s) — catches bit-rot in
-#     the snapshot wire path, the shared-pool pipeline manager, the
-#     starved-channel DRR/FIFO scenario, and the endorse-pipeline
-#     submit/sign path that unit tests alone might miss.
+#  6. The ordering battery (equivalence proptests, fault injection,
+#     safety properties incl. the PBFT view-change partial-batch case)
+#     re-runs under --release: the proptests sign/verify hundreds of
+#     envelopes per case and release timing is what keeps them honest.
+#  7. The ordering, raft, and pbft crates pass clippy with -D warnings
+#     (these carry the pipelined replication windows, batched
+#     pre-prepares, and the verify pool this gate guards).
+#  8. The snapshot catch-up, multi-channel overlap, endorsement overlap,
+#     storage scale, and ordering throughput benches complete a smoke
+#     sweep (~25 s) — catches bit-rot in the snapshot wire path, the
+#     shared-pool pipeline manager, the starved-channel DRR/FIFO
+#     scenario, the endorse-pipeline submit/sign path, and the simnet
+#     ordering driver (which also asserts pipelined beats lockstep)
+#     that unit tests alone might miss.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -74,6 +83,19 @@ cargo test -q -p fabric-kvstore --test storage_recovery --test storage_equivalen
 echo "== multi-channel test battery under --release =="
 cargo test -q --release --test multi_channel
 
+echo "== ordering battery under --release: equivalence + faults + properties =="
+cargo test -q --release --test ordering_equivalence --test ordering_faults --test ordering_properties
+
+echo "== fabric-ordering / fabric-raft / fabric-pbft: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/ordering/src crates/raft/src crates/pbft/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-ordering -p fabric-raft -p fabric-pbft --all-targets -- -D warnings
+else
+    echo "clippy not installed; falling back to rustc warning gate"
+    find crates/ordering/src crates/raft/src crates/pbft/src -name '*.rs' -exec touch {} +
+    RUSTFLAGS="-Dwarnings" cargo build -p fabric-ordering -p fabric-raft -p fabric-pbft
+fi
+
 echo "== catch-up bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench
 
@@ -85,5 +107,8 @@ FABRIC_BENCH_SMOKE=1 cargo bench -q --bench endorsement_overlap -p fabric-bench
 
 echo "== storage scale bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench storage_scale -p fabric-bench
+
+echo "== ordering throughput bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench ordering_throughput -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

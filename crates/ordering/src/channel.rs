@@ -2,6 +2,18 @@
 //! the current configuration (with its MSP registry and access policies),
 //! the deterministic block cutter, and the chain of cut blocks retained to
 //! answer `deliver` calls.
+//!
+//! The validation-relevant slice of the state — configuration, MSPs, and
+//! the three access policies — is factored into an immutable
+//! [`ChannelAccess`] snapshot behind an `Arc`, so the pre-ordering
+//! signature-verification pool (see `verify`) can check envelopes on
+//! worker threads without holding up the consensus path. A config update
+//! swaps in a fresh snapshot; in-flight verifications against the old
+//! snapshot mirror real Fabric, where broadcast validation races
+//! reconfiguration and the delivered config transaction is re-validated
+//! in ordered position anyway.
+
+use std::sync::Arc;
 
 use fabric_msp::{MspRegistry, SigningIdentity};
 use fabric_policy::{PolicyExpr, Signer};
@@ -14,37 +26,24 @@ use fabric_primitives::ChannelId;
 use crate::cutter::BlockCutter;
 use crate::OrderError;
 
-/// One channel's state at an OSN.
-pub struct ChannelState {
-    /// The channel id.
-    pub channel: ChannelId,
-    /// Current configuration.
+/// An immutable snapshot of everything needed to validate envelopes and
+/// deliver requests against one channel: the configuration plus the MSP
+/// registry and parsed policies derived from it. Shared (`Arc`) with the
+/// verification worker pool.
+pub struct ChannelAccess {
+    /// The configuration this snapshot was built from.
     pub config: ChannelConfig,
     /// MSP federation built from `config.orgs`.
     pub msp: MspRegistry,
     writer_policy: PolicyExpr,
     admin_policy: PolicyExpr,
     reader_policy: PolicyExpr,
-    /// The block cutter.
-    pub cutter: BlockCutter,
-    /// All blocks cut so far (the paper's OSNs persist recent blocks to
-    /// answer `deliver`; we retain all for simplicity).
-    pub blocks: Vec<Block>,
-    /// Ticks since the current pending batch started (drives TTC).
-    pub pending_ticks: u64,
-    /// Highest block number this node already sent a time-to-cut for.
-    pub ttc_sent: u64,
-    /// Number of the most recent config block.
-    pub last_config: u64,
 }
 
-impl ChannelState {
-    /// Bootstraps a channel from its genesis configuration, producing the
-    /// genesis block (number 0) containing the config.
-    pub fn from_genesis(config: ChannelConfig) -> Result<Self, OrderError> {
-        if config.sequence != 0 {
-            return Err(OrderError::BadConfig("genesis sequence must be 0".into()));
-        }
+impl ChannelAccess {
+    /// Builds a snapshot from a configuration, parsing its policies and
+    /// constructing the MSP registry.
+    pub fn from_config(config: ChannelConfig) -> Result<Self, OrderError> {
         let msp = MspRegistry::from_channel_config(&config).map_err(OrderError::Identity)?;
         let writer_policy = PolicyExpr::parse(&config.writer_policy)
             .map_err(|e| OrderError::BadConfig(format!("writer policy: {e}")))?;
@@ -52,43 +51,13 @@ impl ChannelState {
             .map_err(|e| OrderError::BadConfig(format!("admin policy: {e}")))?;
         let reader_policy = PolicyExpr::parse(&config.reader_policy)
             .map_err(|e| OrderError::BadConfig(format!("reader policy: {e}")))?;
-        let genesis_envelope = Envelope {
-            content: EnvelopeContent::Config(ConfigUpdate {
-                config: config.clone(),
-                signatures: vec![],
-            }),
-            signature: vec![],
-        };
-        let genesis = Block::new(0, [0u8; 32], vec![genesis_envelope]);
-        let cutter = BlockCutter::new(config.orderer.batch, 1);
-        Ok(ChannelState {
-            channel: config.channel.clone(),
+        Ok(ChannelAccess {
             config,
             msp,
             writer_policy,
             admin_policy,
             reader_policy,
-            cutter,
-            blocks: vec![genesis],
-            pending_ticks: 0,
-            ttc_sent: 0,
-            last_config: 0,
         })
-    }
-
-    /// The hash of the last cut block.
-    pub fn last_hash(&self) -> fabric_crypto::Digest {
-        self.blocks.last().expect("genesis always present").hash()
-    }
-
-    /// Current chain height.
-    pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
-    }
-
-    /// Serves a `deliver(seq)` call.
-    pub fn deliver(&self, seq: u64) -> Option<&Block> {
-        self.blocks.get(seq as usize)
     }
 
     fn signer_of(&self, identity: &fabric_msp::ValidatedIdentity) -> Signer {
@@ -96,6 +65,10 @@ impl ChannelState {
             msp_id: identity.msp_id().to_string(),
             role: identity.role().as_str().to_string(),
         }
+    }
+
+    fn org_ids(&self) -> Vec<String> {
+        self.config.orgs.iter().map(|o| o.msp_id.clone()).collect()
     }
 
     /// Validates an envelope at `broadcast` time: signature authenticity,
@@ -116,11 +89,9 @@ impl ChannelState {
                     .msp
                     .validate_and_verify(&tx.creator, &signing_bytes, &envelope.signature)
                     .map_err(OrderError::Identity)?;
-                let orgs: Vec<String> =
-                    self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
                 let satisfied = self
                     .writer_policy
-                    .evaluate(&orgs, &[self.signer_of(&identity)])
+                    .evaluate(&self.org_ids(), &[self.signer_of(&identity)])
                     .map_err(|e| OrderError::BadConfig(e.to_string()))?;
                 if !satisfied {
                     return Err(OrderError::AccessDenied);
@@ -135,7 +106,7 @@ impl ChannelState {
     /// (paper Sec. 4.6): next sequence number and admin-policy signatures
     /// over the new config bytes.
     pub fn check_config_update(&self, update: &ConfigUpdate) -> Result<(), OrderError> {
-        if update.config.channel != self.channel {
+        if update.config.channel != self.config.channel {
             return Err(OrderError::BadConfig("config targets another channel".into()));
         }
         if update.config.sequence != self.config.sequence + 1 {
@@ -153,10 +124,9 @@ impl ChannelState {
                 .map_err(OrderError::Identity)?;
             signers.push(self.signer_of(&identity));
         }
-        let orgs: Vec<String> = self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
         let satisfied = self
             .admin_policy
-            .evaluate(&orgs, &signers)
+            .evaluate(&self.org_ids(), &signers)
             .map_err(|e| OrderError::BadConfig(e.to_string()))?;
         if !satisfied {
             return Err(OrderError::AccessDenied);
@@ -183,10 +153,9 @@ impl ChannelState {
             .msp
             .validate_and_verify(identity, challenge, signature)
             .map_err(OrderError::Identity)?;
-        let orgs: Vec<String> = self.config.orgs.iter().map(|o| o.msp_id.clone()).collect();
         let satisfied = self
             .reader_policy
-            .evaluate(&orgs, &[self.signer_of(&validated)])
+            .evaluate(&self.org_ids(), &[self.signer_of(&validated)])
             .map_err(|e| OrderError::BadConfig(e.to_string()))?;
         if satisfied {
             Ok(())
@@ -194,32 +163,128 @@ impl ChannelState {
             Err(OrderError::AccessDenied)
         }
     }
+}
+
+/// One channel's state at an OSN.
+pub struct ChannelState {
+    /// The channel id.
+    pub channel: ChannelId,
+    /// The current validation snapshot (config + MSPs + policies),
+    /// shareable with verification worker threads.
+    pub access: Arc<ChannelAccess>,
+    /// The block cutter.
+    pub cutter: BlockCutter,
+    /// All blocks cut so far (the paper's OSNs persist recent blocks to
+    /// answer `deliver`; we retain all for simplicity).
+    pub blocks: Vec<Block>,
+    /// Ticks since the current pending batch started (drives TTC).
+    pub pending_ticks: u64,
+    /// Highest block number this node already sent a time-to-cut for.
+    pub ttc_sent: u64,
+    /// Number of the most recent config block.
+    pub last_config: u64,
+}
+
+impl ChannelState {
+    /// Bootstraps a channel from its genesis configuration, producing the
+    /// genesis block (number 0) containing the config.
+    pub fn from_genesis(config: ChannelConfig) -> Result<Self, OrderError> {
+        if config.sequence != 0 {
+            return Err(OrderError::BadConfig("genesis sequence must be 0".into()));
+        }
+        let genesis_envelope = Envelope {
+            content: EnvelopeContent::Config(ConfigUpdate {
+                config: config.clone(),
+                signatures: vec![],
+            }),
+            signature: vec![],
+        };
+        let genesis = Block::new(0, [0u8; 32], vec![genesis_envelope]);
+        let cutter = BlockCutter::new(config.orderer.batch, 1);
+        let channel = config.channel.clone();
+        let access = Arc::new(ChannelAccess::from_config(config)?);
+        Ok(ChannelState {
+            channel,
+            access,
+            cutter,
+            blocks: vec![genesis],
+            pending_ticks: 0,
+            ttc_sent: 0,
+            last_config: 0,
+        })
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.access.config
+    }
+
+    /// The hash of the last cut block.
+    pub fn last_hash(&self) -> fabric_crypto::Digest {
+        self.blocks.last().expect("genesis always present").hash()
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Serves a `deliver(seq)` call.
+    pub fn deliver(&self, seq: u64) -> Option<&Block> {
+        self.blocks.get(seq as usize)
+    }
+
+    /// See [`ChannelAccess::check_broadcast`].
+    pub fn check_broadcast(&self, envelope: &Envelope) -> Result<(), OrderError> {
+        self.access.check_broadcast(envelope)
+    }
+
+    /// See [`ChannelAccess::check_config_update`].
+    pub fn check_config_update(&self, update: &ConfigUpdate) -> Result<(), OrderError> {
+        self.access.check_config_update(update)
+    }
+
+    /// See [`ChannelAccess::check_deliver`].
+    pub fn check_deliver(
+        &self,
+        identity: &fabric_primitives::SerializedIdentity,
+        challenge: &[u8],
+        signature: &[u8],
+    ) -> Result<(), OrderError> {
+        self.access.check_deliver(identity, challenge, signature)
+    }
 
     /// Applies a validated config update delivered through consensus:
-    /// rebuilds MSPs and policies, updates batch parameters.
+    /// swaps in a fresh access snapshot and updates batch parameters.
     pub fn apply_config(&mut self, config: ChannelConfig) -> Result<(), OrderError> {
-        self.msp = MspRegistry::from_channel_config(&config).map_err(OrderError::Identity)?;
-        self.writer_policy = PolicyExpr::parse(&config.writer_policy)
-            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
-        self.admin_policy = PolicyExpr::parse(&config.admin_policy)
-            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
-        self.reader_policy = PolicyExpr::parse(&config.reader_policy)
-            .map_err(|e| OrderError::BadConfig(e.to_string()))?;
-        self.cutter.set_config(config.orderer.batch);
-        self.config = config;
+        let batch = config.orderer.batch;
+        self.access = Arc::new(ChannelAccess::from_config(config)?);
+        self.cutter.set_config(batch);
         Ok(())
     }
 
     /// Builds, signs, and appends the next block from `envelopes`.
     pub fn cut_block(&mut self, envelopes: Vec<Envelope>, signer: &SigningIdentity) -> Block {
+        self.cut_block_with(envelopes, |header_hash| BlockSignature {
+            signer: signer.serialized(),
+            signature: signer.sign(header_hash).to_bytes().to_vec(),
+        })
+    }
+
+    /// Builds the next block from `envelopes` and signs its header hash via
+    /// `sign` — the hook the speculative-signing cache uses to supply a
+    /// pre-computed signature (the header hash covers only number, previous
+    /// hash, and data hash, so it is known before consensus finishes).
+    pub fn cut_block_with(
+        &mut self,
+        envelopes: Vec<Envelope>,
+        sign: impl FnOnce(&fabric_crypto::Digest) -> BlockSignature,
+    ) -> Block {
         let number = self.height();
         let mut block = Block::new(number, self.last_hash(), envelopes);
         block.metadata.last_config = self.last_config;
         let header_hash = block.hash();
-        block.metadata.signatures.push(BlockSignature {
-            signer: signer.serialized(),
-            signature: signer.sign(&header_hash).to_bytes().to_vec(),
-        });
+        block.metadata.signatures.push(sign(&header_hash));
         if block.is_config_block() {
             self.last_config = number;
         }

@@ -17,6 +17,7 @@ use fabric_primitives::transaction::Envelope;
 use fabric_primitives::wire::Wire;
 
 /// Deterministic batcher for one channel.
+#[derive(Clone)]
 pub struct BlockCutter {
     config: BatchConfig,
     pending: Vec<Envelope>,

@@ -12,6 +12,9 @@ use fabric_primitives::wire::{Decoder, Encoder, Wire, WireError};
 use fabric_primitives::ChannelId;
 
 /// One totally-ordered item.
+// Envelope dominates the size; boxing it would ripple through every
+// construction site for a value that lives briefly on the submit path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OrderedItem {
     /// A transaction (or config) envelope for a channel.
@@ -28,14 +31,51 @@ pub enum OrderedItem {
         /// The block number the sender intends to cut.
         block: u64,
     },
+    /// Several leaf items riding one consensus slot (the batched intake
+    /// path): delivered as if each item had been ordered consecutively.
+    /// Batches never nest — the decoder rejects a batch inside a batch.
+    Batch {
+        /// The leaf items, in submission order.
+        items: Vec<OrderedItem>,
+    },
 }
 
 impl OrderedItem {
-    /// The channel this item belongs to.
+    /// The channel this item belongs to. For a batch, the first leaf's
+    /// channel (batches may span channels; drivers dispatch per leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch (the decoder never produces one).
     pub fn channel(&self) -> &ChannelId {
         match self {
             OrderedItem::Tx { channel, .. } | OrderedItem::TimeToCut { channel, .. } => channel,
+            OrderedItem::Batch { items } => items
+                .first()
+                .expect("batches are never empty")
+                .channel(),
         }
+    }
+
+    /// Decodes a non-batch item (the recursion-free base case).
+    fn decode_leaf(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let tag = dec.get_u8()?;
+        OrderedItem::decode_leaf_body(tag, dec)
+    }
+
+    /// Decodes a leaf item whose tag byte has already been consumed.
+    fn decode_leaf_body(tag: u8, dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => OrderedItem::Tx {
+                channel: ChannelId::decode(dec)?,
+                envelope: Envelope::decode(dec)?,
+            },
+            1 => OrderedItem::TimeToCut {
+                channel: ChannelId::decode(dec)?,
+                block: dec.get_u64()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
     }
 }
 
@@ -52,20 +92,25 @@ impl Wire for OrderedItem {
                 channel.encode(enc);
                 enc.put_u64(*block);
             }
+            OrderedItem::Batch { items } => {
+                enc.put_u8(2);
+                enc.put_seq(items, |e, item| item.encode(e));
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
-        Ok(match dec.get_u8()? {
-            0 => OrderedItem::Tx {
-                channel: ChannelId::decode(dec)?,
-                envelope: Envelope::decode(dec)?,
-            },
-            1 => OrderedItem::TimeToCut {
-                channel: ChannelId::decode(dec)?,
-                block: dec.get_u64()?,
-            },
-            t => return Err(WireError::BadTag(t)),
-        })
+        // A batch decodes its members through `decode_leaf` only, so
+        // adversarial input cannot nest batches and overflow the stack
+        // (this stream is fuzzed — see `tests/fuzz_decode.rs`).
+        let tag = dec.get_u8()?;
+        if tag == 2 {
+            let items = dec.get_seq(OrderedItem::decode_leaf)?;
+            if items.is_empty() {
+                return Err(WireError::BadTag(2));
+            }
+            return Ok(OrderedItem::Batch { items });
+        }
+        OrderedItem::decode_leaf_body(tag, dec)
     }
 }
 
@@ -86,5 +131,39 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         assert!(OrderedItem::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let batch = OrderedItem::Batch {
+            items: vec![
+                OrderedItem::TimeToCut {
+                    channel: ChannelId::new("a"),
+                    block: 1,
+                },
+                OrderedItem::TimeToCut {
+                    channel: ChannelId::new("b"),
+                    block: 2,
+                },
+            ],
+        };
+        assert_eq!(OrderedItem::from_wire(&batch.to_wire()).unwrap(), batch);
+        assert_eq!(batch.channel().as_str(), "a");
+    }
+
+    #[test]
+    fn nested_and_empty_batches_rejected() {
+        let inner = OrderedItem::Batch {
+            items: vec![OrderedItem::TimeToCut {
+                channel: ChannelId::new("a"),
+                block: 1,
+            }],
+        };
+        // Hand-craft a batch containing a batch: tag 2, count 1, inner.
+        let mut nested = vec![2u8, 1, 0, 0, 0];
+        nested.extend_from_slice(&inner.to_wire());
+        assert!(OrderedItem::from_wire(&nested).is_err());
+        // Empty batch: tag 2, count 0.
+        assert!(OrderedItem::from_wire(&[2, 0, 0, 0, 0]).is_err());
     }
 }

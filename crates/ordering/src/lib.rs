@@ -18,12 +18,14 @@ pub mod cutter;
 pub mod item;
 pub mod node;
 pub mod testkit;
+pub mod verify;
 
-pub use channel::ChannelState;
-pub use cluster::OrderingCluster;
+pub use channel::{ChannelAccess, ChannelState};
+pub use cluster::{ClusterOptions, OrderingCluster};
 pub use cutter::BlockCutter;
 pub use item::OrderedItem;
 pub use node::{ConsensusBackend, OrderingNode, OsnConfig, OsnMessage, OsnOutput};
+pub use verify::VerifyPool;
 
 use fabric_primitives::ChannelId;
 
@@ -500,5 +502,156 @@ mod tests {
         let msp = fabric_msp::MspRegistry::from_channel_config(&net.genesis).unwrap();
         msp.validate_and_verify(&sig.signer, &block.hash(), &sig.signature)
             .unwrap();
+    }
+
+    /// Regression: a `batch_timeout_ms` smaller than one driver tick used
+    /// to quantize *up* to a whole tick, so a lone transaction sat pending
+    /// until the next tick. Sub-tick timeouts now fire on the submission
+    /// path itself — the block is cut with zero `tick()` calls.
+    #[test]
+    fn sub_tick_timeout_cuts_without_a_tick() {
+        let net = TestNet::with_batch(
+            &["Org1"],
+            ConsensusType::Solo,
+            1,
+            BatchConfig {
+                max_message_count: 100,
+                absolute_max_bytes: 1 << 20,
+                preferred_max_bytes: 1 << 20,
+                batch_timeout_ms: 10, // < 100 ms/tick
+            },
+        );
+        let mut cluster = solo_cluster(&net);
+        let client = net.client(0, "c1");
+        cluster
+            .broadcast(make_envelope(
+                &client,
+                &net.channel,
+                nonce(1),
+                TxReadWriteSet::default(),
+            ))
+            .unwrap();
+        assert_eq!(
+            cluster.height(&net.channel),
+            2,
+            "sub-tick timeout cut the batch immediately"
+        );
+    }
+
+    /// Regression for the other side of the quantization fix: a timeout
+    /// between tick multiples must round *up* (`div_ceil`), never fire a
+    /// tick early. 250 ms at 100 ms/tick waits 3 ticks, not 2.
+    #[test]
+    fn batch_timeout_never_fires_a_tick_early() {
+        let net = TestNet::with_batch(
+            &["Org1"],
+            ConsensusType::Solo,
+            1,
+            BatchConfig {
+                max_message_count: 100,
+                absolute_max_bytes: 1 << 20,
+                preferred_max_bytes: 1 << 20,
+                batch_timeout_ms: 250,
+            },
+        );
+        let mut cluster = solo_cluster(&net);
+        let client = net.client(0, "c1");
+        cluster
+            .broadcast(make_envelope(
+                &client,
+                &net.channel,
+                nonce(1),
+                TxReadWriteSet::default(),
+            ))
+            .unwrap();
+        cluster.tick();
+        cluster.tick();
+        assert_eq!(cluster.height(&net.channel), 1, "2 ticks = 200 ms < 250 ms");
+        cluster.tick();
+        assert_eq!(cluster.height(&net.channel), 2, "3 ticks = 300 ms >= 250 ms");
+    }
+
+    #[test]
+    fn broadcast_batch_rejects_bad_signatures_and_keeps_order() {
+        let net = TestNet::with_batch(
+            &["Org1"],
+            ConsensusType::Solo,
+            1,
+            BatchConfig {
+                max_message_count: 3,
+                absolute_max_bytes: 1 << 20,
+                preferred_max_bytes: 1 << 20,
+                batch_timeout_ms: 10_000,
+            },
+        );
+        let mut options = ClusterOptions::new(ConsensusType::Solo);
+        options.verify_workers = 2;
+        let mut cluster =
+            OrderingCluster::new_with(options, net.orderers(1), vec![net.genesis.clone()])
+                .unwrap();
+        let client = net.client(0, "c1");
+        let envs: Vec<_> = (0..4)
+            .map(|i| make_envelope(&client, &net.channel, nonce(i), TxReadWriteSet::default()))
+            .collect();
+        let mut forged = envs[2].clone();
+        forged.signature[5] ^= 0xff;
+        let verdicts = cluster.broadcast_batch(vec![
+            envs[0].clone(),
+            envs[1].clone(),
+            forged,
+            envs[3].clone(),
+        ]);
+        assert!(verdicts[0].is_ok() && verdicts[1].is_ok() && verdicts[3].is_ok());
+        assert!(
+            matches!(verdicts[2], Err(OrderError::Identity(_))),
+            "forged signature rejected before ordering"
+        );
+        // The three survivors filled one block, in submission order.
+        let block = cluster.deliver(&net.channel, 1).expect("batch cut");
+        assert_eq!(block.envelopes, vec![envs[0].clone(), envs[1].clone(), envs[3].clone()]);
+    }
+
+    #[test]
+    fn speculative_signing_hits_on_raft_leader() {
+        let net = TestNet::with_batch(
+            &["Org1"],
+            ConsensusType::Raft,
+            3,
+            BatchConfig {
+                max_message_count: 2,
+                absolute_max_bytes: 1 << 20,
+                preferred_max_bytes: 1 << 20,
+                batch_timeout_ms: 10_000,
+            },
+        );
+        let mut cluster = OrderingCluster::new(
+            ConsensusType::Raft,
+            net.orderers(3),
+            vec![net.genesis.clone()],
+        )
+        .unwrap();
+        let client = net.client(0, "c1");
+        for i in 0..8 {
+            cluster
+                .broadcast(make_envelope(
+                    &client,
+                    &net.channel,
+                    nonce(i),
+                    TxReadWriteSet::default(),
+                ))
+                .unwrap();
+            cluster.tick();
+        }
+        for _ in 0..20 {
+            cluster.tick();
+        }
+        cluster.assert_identical_chains(&net.channel);
+        assert!(cluster.height(&net.channel) >= 5, "4 blocks cut");
+        let (hits, _) = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.spec_stats())
+            .fold((0, 0), |(h, m), (nh, nm)| (h + nh, m + nm));
+        assert!(hits >= 3, "leader pre-signed most blocks, got {hits} hits");
     }
 }

@@ -1,0 +1,135 @@
+//! Pre-ordering signature verification (the tentpole's intake stage).
+//!
+//! `broadcast` validation — ECDSA verification of the submitter's
+//! signature plus the writer-policy check — is the CPU-heavy part of the
+//! ordering service's front end, and it is embarrassingly parallel: each
+//! envelope verifies against an immutable [`ChannelAccess`] snapshot and
+//! no envelope's verdict depends on another's. The [`VerifyPool`] runs
+//! those checks on a fixed set of worker threads *before* consensus sees
+//! the payload, so signature verification overlaps with Raft/PBFT
+//! replication of earlier batches instead of serializing ahead of it
+//! (paper Sec. 4.2 places validation at the OSN boundary for exactly this
+//! reason: the consensus cluster never wastes ordering work on envelopes
+//! that would be discarded).
+//!
+//! The pool is deliberately *order-preserving at the batch level*:
+//! [`VerifyPool::verify_batch`] scatters a batch across the workers and
+//! gathers verdicts back into submission-slot order, so the caller can
+//! submit survivors to consensus in exactly the order the client sent
+//! them. This mirrors the batching signer of the endorsement pipeline
+//! (PR 5): parallel inside, deterministic outside.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use fabric_primitives::transaction::Envelope;
+
+use crate::channel::ChannelAccess;
+use crate::OrderError;
+
+/// One verification request: check `envelope` against `access`, report
+/// under `slot`.
+struct Job {
+    access: Arc<ChannelAccess>,
+    envelope: Envelope,
+    slot: usize,
+    reply: Sender<(usize, Envelope, Result<(), OrderError>)>,
+}
+
+/// A pool of persistent verification workers shared by every OSN in a
+/// process (cloning the `Arc` it usually lives behind is cheap).
+pub struct VerifyPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VerifyPool {
+    /// Spawns a pool with `workers` threads; `0` uses the host's available
+    /// parallelism.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("osn-verify-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let verdict = job.access.check_broadcast(&job.envelope);
+                            // A dropped receiver means the caller gave up;
+                            // nothing useful to do with the verdict.
+                            let _ = job.reply.send((job.slot, job.envelope, verdict));
+                        }
+                    })
+                    .expect("spawn verify worker")
+            })
+            .collect();
+        VerifyPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Verifies a batch of `(access, envelope)` pairs in parallel,
+    /// returning `(envelope, verdict)` in the submission order given.
+    pub fn verify_batch(
+        &self,
+        jobs: Vec<(Arc<ChannelAccess>, Envelope)>,
+    ) -> Vec<(Envelope, Result<(), OrderError>)> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let tx = self.tx.as_ref().expect("pool is open");
+        let (reply_tx, reply_rx) = channel::bounded(n);
+        for (slot, (access, envelope)) in jobs.into_iter().enumerate() {
+            let sent = tx.send(Job {
+                access,
+                envelope,
+                slot,
+                reply: reply_tx.clone(),
+            });
+            assert!(sent.is_ok(), "verify workers alive");
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<(Envelope, Result<(), OrderError>)>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (slot, envelope, verdict) = reply_rx.recv().expect("worker reply");
+            out[slot] = Some((envelope, verdict));
+        }
+        out.into_iter()
+            .map(|x| x.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Shuts the pool down, joining all workers. Called by `Drop`.
+    pub fn close(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            drop(tx);
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -25,7 +25,9 @@
 
 pub mod node;
 
-pub use node::{Output, PbftConfig, PbftMessage, PbftNode, ProposeError};
+pub use node::{
+    decode_batch, encode_batch, Output, PbftConfig, PbftMessage, PbftNode, ProposeError,
+};
 
 /// Identifier of a PBFT replica (0-based; view `v` is led by `v mod n`).
 pub type ReplicaId = u64;
@@ -46,9 +48,13 @@ mod tests {
 
     impl Cluster {
         fn new(n: usize) -> Self {
+            Self::new_with(n, PbftConfig::default())
+        }
+
+        fn new_with(n: usize, config: PbftConfig) -> Self {
             Cluster {
                 nodes: (0..n as u64)
-                    .map(|id| PbftNode::new(id, n, PbftConfig::default()))
+                    .map(|id| PbftNode::new(id, n, config))
                     .collect(),
                 network: VecDeque::new(),
                 delivered: vec![Vec::new(); n],
@@ -227,6 +233,98 @@ mod tests {
         let mut cluster = Cluster::new(4);
         assert!(cluster.nodes[1].propose(vec![9]).is_err());
         assert!(cluster.nodes[0].propose(vec![9]).is_ok());
+    }
+
+    #[test]
+    fn batch_frame_roundtrip() {
+        let payloads = vec![b"alpha".to_vec(), Vec::new(), b"b".to_vec()];
+        let frame = encode_batch(&payloads);
+        assert_eq!(decode_batch(&frame), Some(payloads));
+        assert_eq!(decode_batch(&encode_batch(&[])), Some(Vec::new()));
+        // Not a frame: wrong marker.
+        assert_eq!(decode_batch(b"not a frame"), None);
+        // Truncated and trailing-garbage frames are rejected.
+        let frame = encode_batch(&[b"x".to_vec()]);
+        assert_eq!(decode_batch(&frame[..frame.len() - 1]), None);
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert_eq!(decode_batch(&padded), None);
+    }
+
+    #[test]
+    fn backlogged_requests_coalesce_into_batches() {
+        // One in-flight slot: the first request seals alone; the rest
+        // must queue and seal as a single batch once slot 1 delivers.
+        let config = PbftConfig {
+            max_inflight: 1,
+            ..PbftConfig::default()
+        };
+        let mut cluster = Cluster::new_with(4, config);
+        for i in 0..5u8 {
+            let outputs = cluster.nodes[0].on_request(vec![i]);
+            cluster.absorb(0, outputs);
+        }
+        cluster.drain();
+        cluster.assert_agreement();
+        for (i, d) in cluster.delivered.iter().enumerate() {
+            let data: Vec<&Vec<u8>> = d.iter().map(|(_, p)| p).collect();
+            assert_eq!(
+                data,
+                (0..5u8).map(|i| vec![i]).collect::<Vec<_>>().iter().collect::<Vec<_>>(),
+                "replica {i} delivers every payload once, in intake order"
+            );
+        }
+        let (batches, payloads) = cluster.nodes[0].batch_stats();
+        assert_eq!(payloads, 5);
+        assert_eq!(batches, 2, "backlog coalesced into one follow-up batch");
+    }
+
+    #[test]
+    fn partially_replicated_batch_survives_view_change_exactly_once() {
+        // The primary seals a batch of three but its pre-prepare reaches
+        // only replica 1 before the primary dies. After the view change,
+        // every payload must deliver exactly once on every live replica:
+        // none lost, none committed twice (the re-proposed batch and any
+        // carried-over state overlap is resolved by delivery-time dedup).
+        let mut cluster = Cluster::new(4);
+        let batch: Vec<Vec<u8>> = (10..13u8).map(|i| vec![i]).collect();
+        let frame = encode_batch(&batch);
+        let pre = PbftMessage::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: fabric_crypto::digest(&frame),
+            payload: frame,
+        };
+        let outputs = cluster.nodes[1].step(0, pre);
+        cluster.absorb(1, outputs);
+        cluster.down = vec![0];
+        cluster.drain();
+        // Clients re-submit at a live backup; timers expire; view changes.
+        for payload in &batch {
+            let outputs = cluster.nodes[2].on_request(payload.clone());
+            cluster.absorb(2, outputs);
+        }
+        cluster.drain();
+        for _ in 0..100 {
+            cluster.tick();
+            if cluster.delivered[1].len() >= batch.len()
+                && cluster.delivered[2].len() >= batch.len()
+                && cluster.delivered[3].len() >= batch.len()
+            {
+                break;
+            }
+        }
+        cluster.assert_agreement();
+        for i in [1usize, 2, 3] {
+            let data: Vec<&Vec<u8>> = cluster.delivered[i].iter().map(|(_, p)| p).collect();
+            for payload in &batch {
+                assert_eq!(
+                    data.iter().filter(|p| **p == payload).count(),
+                    1,
+                    "replica {i}: payload {payload:?} must deliver exactly once"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The PBFT replica state machine.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use fabric_crypto::Digest;
 
@@ -12,14 +12,61 @@ pub struct PbftConfig {
     /// Ticks a replica waits for a forwarded request to be delivered before
     /// suspecting the primary and starting a view change.
     pub request_timeout: u64,
+    /// Maximum client payloads sealed into one pre-prepare batch.
+    pub max_batch: usize,
+    /// Maximum undelivered sequence numbers the primary keeps in flight;
+    /// further requests queue until delivery frees a slot.
+    pub max_inflight: u64,
 }
 
 impl Default for PbftConfig {
     fn default() -> Self {
         PbftConfig {
             request_timeout: 10,
+            max_batch: 64,
+            max_inflight: 8,
         }
     }
+}
+
+/// First byte of a batched pre-prepare payload. Client payloads are opaque
+/// but the batch frame is distinguished by this marker; `encode_batch`
+/// always frames (even single payloads), so committed non-empty payloads
+/// are frames unless they predate batching (handled as a legacy single).
+const BATCH_MAGIC: u8 = 0xB5;
+
+/// Frames `payloads` into one batch: marker, count, then length-prefixed
+/// payloads.
+pub fn encode_batch(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = vec![BATCH_MAGIC];
+    buf.extend((payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        buf.extend((p.len() as u32).to_le_bytes());
+        buf.extend(p.iter());
+    }
+    buf
+}
+
+/// Inverse of [`encode_batch`]; `None` if `frame` is not a well-formed
+/// batch (wrong marker, truncated, or trailing bytes).
+pub fn decode_batch(frame: &[u8]) -> Option<Vec<Vec<u8>>> {
+    if frame.first() != Some(&BATCH_MAGIC) {
+        return None;
+    }
+    let mut at = 1usize;
+    let count = u32::from_le_bytes(frame.get(at..at + 4)?.try_into().ok()?) as usize;
+    at += 4;
+    let mut payloads = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(frame.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        payloads.push(frame.get(at..at + len)?.to_vec());
+        at += len;
+    }
+    if at != frame.len() {
+        return None;
+    }
+    Some(payloads)
 }
 
 /// A prepared certificate carried in view-change messages: evidence that a
@@ -158,8 +205,22 @@ pub struct PbftNode {
     vc_votes: HashMap<u64, HashMap<ReplicaId, Vec<PreparedCert>>>,
     /// Highest view this node has voted to change to.
     vc_voted: u64,
-    /// Digests of already-delivered payloads (duplicate suppression).
+    /// Digests of already-delivered payloads (duplicate suppression). For
+    /// batched slots this holds the *sub-payload* digests, which is what
+    /// makes delivery exactly-once across view changes (a payload can sit
+    /// both in a carried-over certificate batch and in a re-proposed one).
     delivered_digests: HashSet<Digest>,
+    /// Primary-only intake queue of raw client payloads awaiting a batch.
+    queue: VecDeque<Vec<u8>>,
+    /// Digests of queued payloads (intake dedup).
+    queued_digests: HashSet<Digest>,
+    /// Re-entrancy guard: delivery inside a `pump`-driven accept chain
+    /// must not pump recursively.
+    pumping: bool,
+    /// Batches sealed by this node as primary (stats).
+    sealed_batches: u64,
+    /// Client payloads sealed into those batches (stats).
+    sealed_payloads: u64,
 }
 
 impl PbftNode {
@@ -184,7 +245,18 @@ impl PbftNode {
             vc_votes: HashMap::new(),
             vc_voted: 0,
             delivered_digests: HashSet::new(),
+            queue: VecDeque::new(),
+            queued_digests: HashSet::new(),
+            pumping: false,
+            sealed_batches: 0,
+            sealed_payloads: 0,
         }
+    }
+
+    /// `(sealed_batches, sealed_payloads)` counters for this node's time
+    /// as primary.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (self.sealed_batches, self.sealed_payloads)
     }
 
     /// This replica's id.
@@ -230,10 +302,9 @@ impl PbftNode {
     pub fn on_request(&mut self, payload: Vec<u8>) -> Vec<Output> {
         let mut out = Vec::new();
         if self.is_primary() {
-            match self.propose(payload) {
-                Ok(o) => return o,
-                Err(_) => unreachable!("is_primary checked"),
-            }
+            self.enqueue(payload);
+            self.pump(&mut out);
+            return out;
         }
         self.broadcast(
             PbftMessage::Request {
@@ -260,31 +331,73 @@ impl PbftNode {
         });
     }
 
-    /// Sequences a request; primary only.
+    /// Sequences a request; primary only. The payload joins the intake
+    /// queue and ships in the next sealed batch (immediately if a
+    /// sequence-number slot is free).
     pub fn propose(&mut self, payload: Vec<u8>) -> Result<Vec<Output>, ProposeError> {
         if !self.is_primary() {
             return Err(ProposeError::NotPrimary(self.primary()));
         }
         let mut out = Vec::new();
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let digest = fabric_crypto::digest(&payload);
-        self.broadcast(
-            PbftMessage::PrePrepare {
-                view: self.view,
-                seq,
-                digest,
-                payload: payload.clone(),
-            },
-            &mut out,
-        );
-        self.accept_preprepare(seq, digest, payload, &mut out);
+        self.enqueue(payload);
+        self.pump(&mut out);
         Ok(out)
+    }
+
+    /// Adds a raw client payload to the primary's intake queue unless it
+    /// was already delivered or is already queued.
+    fn enqueue(&mut self, payload: Vec<u8>) {
+        let digest = fabric_crypto::digest(&payload);
+        if self.delivered_digests.contains(&digest) || !self.queued_digests.insert(digest) {
+            return;
+        }
+        self.queue.push_back(payload);
+    }
+
+    /// Seals queued payloads into batched pre-prepares while undelivered
+    /// sequence numbers stay under `max_inflight` — this is what overlaps
+    /// agreement on consecutive batches instead of running them one at a
+    /// time.
+    fn pump(&mut self, out: &mut Vec<Output>) {
+        if !self.is_primary() || self.pumping {
+            return;
+        }
+        self.pumping = true;
+        while !self.queue.is_empty() {
+            let inflight = (self.next_seq - 1).saturating_sub(self.last_delivered);
+            if inflight >= self.config.max_inflight {
+                break;
+            }
+            let take = self.queue.len().min(self.config.max_batch.max(1));
+            let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
+            for p in &batch {
+                self.queued_digests.remove(&fabric_crypto::digest(p));
+            }
+            self.sealed_batches += 1;
+            self.sealed_payloads += batch.len() as u64;
+            let frame = encode_batch(&batch);
+            let digest = fabric_crypto::digest(&frame);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.broadcast(
+                PbftMessage::PrePrepare {
+                    view: self.view,
+                    seq,
+                    digest,
+                    payload: frame.clone(),
+                },
+                out,
+            );
+            self.accept_preprepare(seq, digest, frame, out);
+        }
+        self.pumping = false;
     }
 
     /// Advances timers; may initiate a view change.
     pub fn tick(&mut self) -> Vec<Output> {
         let mut out = Vec::new();
+        // Catch-all: seal anything still queued if delivery freed slots.
+        self.pump(&mut out);
         let mut expired = false;
         for p in &mut self.pending {
             if p.ticks_left > 0 {
@@ -353,18 +466,8 @@ impl PbftNode {
                     // Already ordered; duplicates are filtered downstream
                     // (Fabric's validation handles duplicate transactions).
                 } else if self.is_primary() {
-                    let seq = self.next_seq;
-                    self.next_seq = seq + 1;
-                    self.broadcast(
-                        PbftMessage::PrePrepare {
-                            view: self.view,
-                            seq,
-                            digest,
-                            payload: payload.clone(),
-                        },
-                        &mut out,
-                    );
-                    self.accept_preprepare(seq, digest, payload, &mut out);
+                    self.enqueue(payload);
+                    self.pump(&mut out);
                 } else {
                     // Arm the timer so this replica also suspects a faulty
                     // primary that never orders the request.
@@ -410,7 +513,7 @@ impl PbftNode {
                 pre_prepares,
             } => {
                 if new_view >= self.view && from == new_view % self.n as u64 {
-                    self.adopt_view(new_view);
+                    self.adopt_view(new_view, &mut out);
                     for (seq, payload) in pre_prepares {
                         let digest = fabric_crypto::digest(&payload);
                         self.accept_preprepare(seq, digest, payload, &mut out);
@@ -456,7 +559,7 @@ impl PbftNode {
                 .unwrap_or_default();
             pre_prepares.push((seq, payload));
         }
-        self.adopt_view(new_view);
+        self.adopt_view(new_view, out);
         self.next_seq = max_seq + 1;
         self.broadcast(
             PbftMessage::NewView {
@@ -469,28 +572,36 @@ impl PbftNode {
             let digest = fabric_crypto::digest(&payload);
             self.accept_preprepare(seq, digest, payload, out);
         }
-        // Re-propose pending requests in the new view.
+        // Re-propose pending requests in the new view, batched like any
+        // other intake. A payload may now sit both in a carried-over
+        // certificate batch above and in one of these fresh batches;
+        // delivery-time sub-payload dedup keeps it exactly-once.
         let pending: Vec<Vec<u8>> = self.pending.iter().map(|p| p.payload.clone()).collect();
         for payload in pending {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            let digest = fabric_crypto::digest(&payload);
-            self.broadcast(
-                PbftMessage::PrePrepare {
-                    view: self.view,
-                    seq,
-                    digest,
-                    payload: payload.clone(),
-                },
-                out,
-            );
-            self.accept_preprepare(seq, digest, payload, out);
+            self.enqueue(payload);
         }
+        self.pump(out);
     }
 
-    fn adopt_view(&mut self, new_view: u64) {
+    fn adopt_view(&mut self, new_view: u64, out: &mut Vec<Output>) {
         self.view = new_view;
         self.vc_voted = self.vc_voted.max(new_view);
+        // A demoted primary relays its unsequenced intake like a backup
+        // (Request broadcast + view-change timer) so the payloads reach
+        // the new primary instead of silently dying in the queue.
+        if !self.is_primary() {
+            self.queued_digests.clear();
+            let queued: Vec<Vec<u8>> = self.queue.drain(..).collect();
+            for payload in queued {
+                self.broadcast(
+                    PbftMessage::Request {
+                        payload: payload.clone(),
+                    },
+                    out,
+                );
+                self.arm_pending(payload);
+            }
+        }
         // Reset per-view progress on undelivered slots: votes from older
         // views don't count in the new one.
         for slot in self.log.values_mut() {
@@ -587,14 +698,39 @@ impl PbftNode {
                 None => break,
             };
             self.last_delivered = next;
-            // Clear any pending request satisfied by this delivery.
-            let digest = fabric_crypto::digest(&payload);
-            self.pending.retain(|p| p.digest != digest);
-            self.delivered_digests.insert(digest);
-            out.push(Output::Delivered {
-                seq: next,
-                data: payload,
-            });
+            if payload.is_empty() {
+                // View-change no-op filler: emit as-is (drivers skip it).
+                out.push(Output::Delivered {
+                    seq: next,
+                    data: payload,
+                });
+                continue;
+            }
+            // A batched slot delivers each client payload separately (all
+            // under the slot's sequence number). Sub-payload digests are
+            // the dedup unit: a payload carried both in a view-change
+            // certificate batch and in a re-proposed batch delivers once.
+            let subs = match decode_batch(&payload) {
+                Some(subs) => subs,
+                None => vec![payload],
+            };
+            for sub in subs {
+                if sub.is_empty() {
+                    continue;
+                }
+                let digest = fabric_crypto::digest(&sub);
+                if !self.delivered_digests.insert(digest) {
+                    continue;
+                }
+                // Clear any pending request satisfied by this delivery.
+                self.pending.retain(|p| p.digest != digest);
+                out.push(Output::Delivered {
+                    seq: next,
+                    data: sub,
+                });
+            }
         }
+        // Delivery frees in-flight sequence slots; seal anything queued.
+        self.pump(out);
     }
 }

@@ -9,6 +9,9 @@ use std::collections::VecDeque;
 use crate::message::{Message, NodeId, Output};
 use crate::node::{ProposeError, RaftConfig, RaftNode, Role};
 
+#[cfg(test)]
+use crate::node::ReplicationMode;
+
 /// A queued message in flight.
 #[derive(Clone, Debug)]
 pub struct InFlight {
@@ -47,12 +50,23 @@ impl Cluster {
 
     /// Creates a cluster with a fault-injection hook.
     pub fn with_fault(n: usize, seed: u64, fault: Box<dyn FnMut(&InFlight) -> Fate>) -> Self {
+        Self::with_config_and_fault(n, seed, RaftConfig::default(), fault)
+    }
+
+    /// Creates a cluster with an explicit node config (replication mode,
+    /// window sizes, timeouts) and a fault-injection hook.
+    pub fn with_config_and_fault(
+        n: usize,
+        seed: u64,
+        config: RaftConfig,
+        fault: Box<dyn FnMut(&InFlight) -> Fate>,
+    ) -> Self {
         let ids: Vec<NodeId> = (1..=n as u64).collect();
         let nodes = ids
             .iter()
             .map(|&id| {
                 let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
-                RaftNode::new(id, peers, RaftConfig::default(), seed)
+                RaftNode::new(id, peers, config, seed)
             })
             .collect();
         Cluster {
@@ -198,7 +212,7 @@ mod tests {
     fn elects_a_leader() {
         let mut cluster = Cluster::new(3, 42);
         let leader = cluster.elect_leader(200);
-        assert!(leader >= 1 && leader <= 3);
+        assert!((1..=3).contains(&leader));
         cluster.assert_single_leader_per_term();
     }
 
@@ -484,6 +498,167 @@ mod tests {
         for committed in &cluster.committed {
             assert_eq!(committed.len(), 8);
         }
+    }
+
+    fn run_mixed_schedule(mode: ReplicationMode, seed: u64) -> Vec<Vec<(u64, Vec<u8>)>> {
+        let config = RaftConfig {
+            mode,
+            max_batch: 4,
+            max_inflight: 3,
+            ..RaftConfig::default()
+        };
+        let mut cluster =
+            Cluster::with_config_and_fault(3, seed, config, Box::new(|_| Fate::Deliver));
+        cluster.elect_leader(200);
+        for i in 0..30u8 {
+            cluster.propose(vec![i]).unwrap();
+            if i % 3 == 0 {
+                cluster.tick();
+            }
+        }
+        for _ in 0..20 {
+            cluster.tick();
+        }
+        cluster.committed
+    }
+
+    #[test]
+    fn pipelined_commit_stream_matches_lockstep_oracle() {
+        for seed in [11u64, 42, 97] {
+            let lockstep = run_mixed_schedule(ReplicationMode::Lockstep, seed);
+            let pipelined = run_mixed_schedule(ReplicationMode::Pipelined, seed);
+            assert_eq!(lockstep, pipelined, "seed {seed}: commit streams diverge");
+            assert!(
+                lockstep.iter().all(|c| c.len() == 30),
+                "seed {seed}: oracle did not commit everything"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_window_bounds_unacked_appends() {
+        // Blackhole every message from one follower back to the cluster:
+        // the leader never sees its acks, so after `max_inflight` batched
+        // appends the window is full and the leader must stop sending it
+        // entries (probes stay empty). Stall retransmission is disabled
+        // via a huge `retransmit_beats`.
+        let config = RaftConfig {
+            max_batch: 1,
+            max_inflight: 4,
+            retransmit_beats: u64::MAX,
+            ..RaftConfig::default()
+        };
+        let mut cluster =
+            Cluster::with_config_and_fault(3, 7, config, Box::new(|_| Fate::Deliver));
+        let leader = cluster.elect_leader(200);
+        let mute = (1..=3u64).find(|&i| i != leader).unwrap();
+        let sent = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let counter = sent.clone();
+        cluster.fault = Box::new(move |m| {
+            if m.from == mute {
+                return Fate::Drop;
+            }
+            if m.to == mute {
+                if let Message::AppendEntries { entries, .. } = &m.message {
+                    if !entries.is_empty() {
+                        counter.set(counter.get() + 1);
+                    }
+                }
+            }
+            Fate::Deliver
+        });
+        for i in 0..50u8 {
+            cluster.propose(vec![i]).unwrap();
+            cluster.tick();
+        }
+        assert_eq!(
+            sent.get(),
+            4,
+            "leader must stop at max_inflight unacked appends"
+        );
+        // The healthy majority still commits everything.
+        let leader_idx = (leader - 1) as usize;
+        assert_eq!(cluster.committed[leader_idx].len(), 50);
+    }
+
+    #[test]
+    fn pipelined_gap_retransmit_heals_dropped_batches() {
+        // Drop a contiguous run of entry-carrying appends to one follower
+        // (probes and everything else still flow), creating a log gap.
+        // The follower's conflict hints on the probes must drive go-back-N
+        // retransmission until it converges — without any heal step.
+        let config = RaftConfig {
+            max_batch: 2,
+            max_inflight: 4,
+            ..RaftConfig::default()
+        };
+        let mut cluster =
+            Cluster::with_config_and_fault(3, 19, config, Box::new(|_| Fate::Deliver));
+        let leader = cluster.elect_leader(200);
+        let victim = (1..=3u64).find(|&i| i != leader).unwrap();
+        let dropped = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let counter = dropped.clone();
+        cluster.fault = Box::new(move |m| {
+            if m.to == victim && counter.get() < 6 {
+                if let Message::AppendEntries { entries, .. } = &m.message {
+                    if !entries.is_empty() {
+                        counter.set(counter.get() + 1);
+                        return Fate::Drop;
+                    }
+                }
+            }
+            Fate::Deliver
+        });
+        for i in 0..20u8 {
+            cluster.propose(vec![i]).unwrap();
+            cluster.tick();
+        }
+        assert_eq!(dropped.get(), 6, "fault hook dropped the expected batches");
+        for _ in 0..30 {
+            cluster.tick();
+        }
+        cluster.assert_agreement();
+        let victim_idx = (victim - 1) as usize;
+        assert_eq!(
+            cluster.committed[victim_idx].len(),
+            20,
+            "victim recovered every dropped batch via retransmission"
+        );
+    }
+
+    #[test]
+    fn lockstep_survives_message_loss() {
+        // Keep the oracle path itself covered under loss.
+        let mut rng = StdRng::seed_from_u64(31);
+        let config = RaftConfig {
+            mode: ReplicationMode::Lockstep,
+            ..RaftConfig::default()
+        };
+        let mut cluster = Cluster::with_config_and_fault(
+            3,
+            31,
+            config,
+            Box::new(move |_| {
+                if rng.gen_bool(0.2) {
+                    Fate::Drop
+                } else {
+                    Fate::Deliver
+                }
+            }),
+        );
+        cluster.elect_leader(2000);
+        let mut proposed = 0;
+        while proposed < 10 {
+            if cluster.propose(vec![proposed]).is_ok() {
+                proposed += 1;
+            }
+            cluster.tick();
+        }
+        for _ in 0..300 {
+            cluster.tick();
+        }
+        cluster.assert_agreement();
+        assert!(cluster.committed.iter().any(|c| c.len() == 10));
     }
 
     #[test]

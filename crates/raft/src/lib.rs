@@ -27,4 +27,4 @@ pub mod node;
 
 pub use cluster::{Cluster, Fate, InFlight};
 pub use message::{LogEntry, Message, NodeId, Output};
-pub use node::{ProposeError, RaftConfig, RaftNode, Role};
+pub use node::{ProposeError, RaftConfig, RaftNode, ReplicationMode, Role};

@@ -8,7 +8,7 @@
 //!
 //! Log indices are 1-based; index 0 is the empty-log sentinel.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +33,29 @@ pub enum ProposeError {
     NotLeader(Option<NodeId>),
 }
 
+/// How the leader replicates its log to followers.
+///
+/// `Lockstep` is the original one-append-in-flight path: the leader sends
+/// one `AppendEntries` per follower and waits for the ack before shipping
+/// the next batch, resending from `next_index` on every propose/heartbeat.
+/// It is kept verbatim as the equivalence oracle for the pipelined path.
+///
+/// `Pipelined` keeps up to [`RaftConfig::max_inflight`] batched appends in
+/// flight per follower before any ack returns. The leader tracks each
+/// unacked `(prev, last)` window; a failure ack or a stalled window
+/// triggers go-back-N retransmission from the acked frontier. Assumes the
+/// transport preserves per-connection FIFO order (both the in-memory
+/// cluster and the simnet do); reordering only costs duplicate
+/// retransmissions, never safety.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// One append in flight per follower (the pre-pipelining baseline).
+    Lockstep,
+    /// Windowed, batched appends in flight before acks return.
+    #[default]
+    Pipelined,
+}
+
 /// Tunable timing, in ticks (the driver defines the tick length).
 #[derive(Clone, Copy, Debug)]
 pub struct RaftConfig {
@@ -44,6 +67,15 @@ pub struct RaftConfig {
     pub heartbeat_interval: u64,
     /// Maximum entries shipped in one `AppendEntries`.
     pub max_batch: usize,
+    /// Replication strategy (see [`ReplicationMode`]).
+    pub mode: ReplicationMode,
+    /// Maximum unacked `AppendEntries` per follower (`Pipelined` only).
+    pub max_inflight: usize,
+    /// Heartbeat intervals without ack progress on a non-empty in-flight
+    /// window before the leader assumes loss and retransmits from the
+    /// acked frontier (`Pipelined` only). Failure acks retransmit
+    /// immediately; this is the fallback for lost acks.
+    pub retransmit_beats: u64,
 }
 
 impl Default for RaftConfig {
@@ -53,6 +85,9 @@ impl Default for RaftConfig {
             election_timeout_max: 20,
             heartbeat_interval: 3,
             max_batch: 512,
+            mode: ReplicationMode::Pipelined,
+            max_inflight: 8,
+            retransmit_beats: 2,
         }
     }
 }
@@ -88,6 +123,15 @@ pub struct RaftNode {
     next_index: HashMap<NodeId, u64>,
     match_index: HashMap<NodeId, u64>,
     ticks_since_heartbeat: u64,
+
+    // Pipelined-replication leader state. `inflight[peer]` holds the
+    // unacked `(prev, last)` index windows in send order; `pipeline_next`
+    // is the optimistic send frontier (>= `next_index`, which only
+    // advances on acks); `stalled_beats` counts heartbeats without ack
+    // progress while the window is non-empty.
+    inflight: HashMap<NodeId, VecDeque<(u64, u64)>>,
+    pipeline_next: HashMap<NodeId, u64>,
+    stalled_beats: HashMap<NodeId, u64>,
 }
 
 impl RaftNode {
@@ -114,6 +158,9 @@ impl RaftNode {
             next_index: HashMap::new(),
             match_index: HashMap::new(),
             ticks_since_heartbeat: 0,
+            inflight: HashMap::new(),
+            pipeline_next: HashMap::new(),
+            stalled_beats: HashMap::new(),
         };
         node.reset_election_deadline();
         node
@@ -207,7 +254,7 @@ impl RaftNode {
     }
 
     fn quorum(&self) -> usize {
-        (self.peers.len() + 1) / 2 + 1
+        self.peers.len().div_ceil(2) + 1
     }
 
     fn last_log_index(&self) -> u64 {
@@ -248,7 +295,10 @@ impl RaftNode {
                 self.ticks_since_heartbeat += 1;
                 if self.ticks_since_heartbeat >= self.config.heartbeat_interval {
                     self.ticks_since_heartbeat = 0;
-                    self.broadcast_append(&mut out);
+                    match self.config.mode {
+                        ReplicationMode::Lockstep => self.broadcast_append(&mut out),
+                        ReplicationMode::Pipelined => self.heartbeat_pipelined(&mut out),
+                    }
                 }
             }
             Role::Follower | Role::Candidate => {
@@ -274,8 +324,21 @@ impl RaftNode {
         let mut out = Vec::new();
         // Single-node cluster commits immediately.
         self.maybe_advance_commit(&mut out);
-        self.broadcast_append(&mut out);
-        self.ticks_since_heartbeat = 0;
+        match self.config.mode {
+            ReplicationMode::Lockstep => {
+                self.broadcast_append(&mut out);
+                self.ticks_since_heartbeat = 0;
+            }
+            ReplicationMode::Pipelined => {
+                // Ship to every follower with window room; the heartbeat
+                // cadence is left alone so commit-index propagation and
+                // the stall detector keep running under constant load.
+                let peers = self.peers.clone();
+                for peer in peers {
+                    self.pump(peer, &mut out);
+                }
+            }
+        }
         Ok((index, out))
     }
 
@@ -402,8 +465,17 @@ impl RaftNode {
             self.next_index.insert(peer, next);
             self.match_index.insert(peer, 0);
         }
+        self.inflight.clear();
+        self.pipeline_next.clear();
+        self.stalled_beats.clear();
+        for &peer in &self.peers {
+            self.pipeline_next.insert(peer, next);
+        }
         self.ticks_since_heartbeat = 0;
         out.push(Output::BecameLeader);
+        // Both modes open with an empty probe at the log end (`next` is
+        // `last + 1`, so `send_append` ships no entries): followers that
+        // lag answer with a conflict hint and repair starts from there.
         self.broadcast_append(out);
     }
 
@@ -438,6 +510,95 @@ impl RaftNode {
                 leader_commit: self.commit_index,
             },
         });
+    }
+
+    /// The peer's optimistic send frontier: the index after the last
+    /// entry shipped (acked or not), clamped to the repairable range.
+    fn send_frontier(&self, peer: NodeId) -> u64 {
+        let base = (*self.next_index.get(&peer).unwrap_or(&1)).max(self.log_offset + 1);
+        (*self.pipeline_next.get(&peer).unwrap_or(&base)).max(base)
+    }
+
+    /// Fills the peer's in-flight window with batched appends starting at
+    /// the send frontier, without waiting for acks (`Pipelined` only).
+    fn pump(&mut self, peer: NodeId, out: &mut Vec<Output>) {
+        let last = self.last_log_index();
+        loop {
+            if self.inflight.get(&peer).map_or(0, |q| q.len()) >= self.config.max_inflight {
+                return;
+            }
+            let start = self.send_frontier(peer);
+            if start > last {
+                return;
+            }
+            let prev = start - 1;
+            let from = (start - 1 - self.log_offset) as usize;
+            let to = (from + self.config.max_batch).min(self.log.len());
+            let entries = self.log[from..to].to_vec();
+            let sent_last = prev + entries.len() as u64;
+            out.push(Output::Send {
+                to: peer,
+                message: Message::AppendEntries {
+                    term: self.term,
+                    prev_log_index: prev,
+                    prev_log_term: self.term_at(prev),
+                    entries,
+                    leader_commit: self.commit_index,
+                },
+            });
+            self.inflight
+                .entry(peer)
+                .or_default()
+                .push_back((prev, sent_last));
+            self.pipeline_next.insert(peer, sent_last + 1);
+        }
+    }
+
+    /// Empty append at the send frontier: keeps the follower's election
+    /// timer reset, propagates `leader_commit`, and — because its `prev`
+    /// covers everything shipped so far — doubles as a gap detector (a
+    /// follower missing a lost in-flight batch answers with a conflict
+    /// hint, triggering immediate go-back-N retransmission).
+    fn probe(&mut self, peer: NodeId, out: &mut Vec<Output>) {
+        let prev = self.send_frontier(peer) - 1;
+        out.push(Output::Send {
+            to: peer,
+            message: Message::AppendEntries {
+                term: self.term,
+                prev_log_index: prev,
+                prev_log_term: self.term_at(prev),
+                entries: Vec::new(),
+                leader_commit: self.commit_index,
+            },
+        });
+    }
+
+    /// Abandons the peer's unacked window and rewinds the send frontier
+    /// to `next_index` (the acked frontier after back-off), so the next
+    /// `pump` retransmits everything outstanding (go-back-N).
+    fn reset_pipeline(&mut self, peer: NodeId) {
+        self.inflight.entry(peer).or_default().clear();
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        self.pipeline_next.insert(peer, next);
+        self.stalled_beats.insert(peer, 0);
+    }
+
+    fn heartbeat_pipelined(&mut self, out: &mut Vec<Output>) {
+        let peers = self.peers.clone();
+        for peer in peers {
+            // Fallback stall detector: if the window has been non-empty
+            // with no ack progress for `retransmit_beats` heartbeats, the
+            // acks themselves were probably lost — retransmit.
+            if self.inflight.get(&peer).is_some_and(|q| !q.is_empty()) {
+                let stalled = self.stalled_beats.entry(peer).or_insert(0);
+                *stalled += 1;
+                if *stalled >= self.config.retransmit_beats {
+                    self.reset_pipeline(peer);
+                }
+            }
+            self.pump(peer, out);
+            self.probe(peer, out);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -534,21 +695,69 @@ impl RaftNode {
         if self.role != Role::Leader || term != self.term {
             return;
         }
-        if success {
-            self.match_index.insert(from, match_index);
-            self.next_index.insert(from, match_index + 1);
-            self.maybe_advance_commit(out);
-            // Ship any remaining entries immediately.
-            if *self.next_index.get(&from).unwrap_or(&1) <= self.last_log_index() {
-                self.send_append(from, out);
+        match self.config.mode {
+            ReplicationMode::Lockstep => {
+                if success {
+                    self.match_index.insert(from, match_index);
+                    self.next_index.insert(from, match_index + 1);
+                    self.maybe_advance_commit(out);
+                    // Ship any remaining entries immediately.
+                    if *self.next_index.get(&from).unwrap_or(&1) <= self.last_log_index() {
+                        self.send_append(from, out);
+                    }
+                } else {
+                    // Back off toward the follower's hint and retry, never
+                    // moving forward on failure.
+                    let current = *self.next_index.get(&from).unwrap_or(&1);
+                    let backed_off = (match_index + 1).min(current.saturating_sub(1)).max(1);
+                    self.next_index.insert(from, backed_off);
+                    self.send_append(from, out);
+                }
             }
+            ReplicationMode::Pipelined => {
+                self.on_append_response_pipelined(from, success, match_index, out)
+            }
+        }
+    }
+
+    /// Pipelined ack handling. Acks for a windowed stream arrive out of
+    /// order relative to retransmissions and probes, so `match_index`
+    /// only moves forward (`max`), acked windows are dropped from the
+    /// front of the in-flight queue, and stale failure hints below the
+    /// confirmed match are ignored (the follower is already known
+    /// consistent through `match_index`).
+    fn on_append_response_pipelined(
+        &mut self,
+        from: NodeId,
+        success: bool,
+        match_index: u64,
+        out: &mut Vec<Output>,
+    ) {
+        let old_match = *self.match_index.get(&from).unwrap_or(&0);
+        if success {
+            let new_match = old_match.max(match_index);
+            self.match_index.insert(from, new_match);
+            let next = *self.next_index.get(&from).unwrap_or(&1);
+            self.next_index.insert(from, next.max(new_match + 1));
+            let queue = self.inflight.entry(from).or_default();
+            let before = queue.len();
+            while queue.front().is_some_and(|&(_, last)| last <= new_match) {
+                queue.pop_front();
+            }
+            if queue.len() < before || new_match > old_match {
+                self.stalled_beats.insert(from, 0);
+            }
+            self.maybe_advance_commit(out);
+            self.pump(from, out);
         } else {
-            // Back off toward the follower's hint and retry, never moving
-            // forward on failure.
+            if match_index < old_match {
+                return;
+            }
             let current = *self.next_index.get(&from).unwrap_or(&1);
             let backed_off = (match_index + 1).min(current.saturating_sub(1)).max(1);
             self.next_index.insert(from, backed_off);
-            self.send_append(from, out);
+            self.reset_pipeline(from);
+            self.pump(from, out);
         }
     }
 

@@ -378,7 +378,7 @@ fn config_update_through_full_stack() {
     let state = world.ordering.nodes()[0]
         .channel(&world.net.channel)
         .unwrap();
-    assert_eq!(state.config.sequence, 1);
+    assert_eq!(state.config().sequence, 1);
 }
 
 #[test]

@@ -188,7 +188,7 @@ fn per_channel_state_access() {
     .unwrap();
     let node: &OrderingNode = &cluster.nodes()[0];
     let state = node.channel(&ChannelId::new("channel-a")).unwrap();
-    assert_eq!(state.config.sequence, 0);
+    assert_eq!(state.config().sequence, 0);
     assert!(node.channel(&ChannelId::new("nope")).is_none());
 }
 

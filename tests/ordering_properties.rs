@@ -145,6 +145,112 @@ fn deliver_is_stable_and_repeatable() {
     assert!(cluster.deliver(&net.channel, 10_000).is_none());
 }
 
+/// Every envelope delivered on `osn`'s chain, in order.
+fn delivered_on(cluster: &OrderingCluster, net: &TestNet, osn: usize) -> Vec<Envelope> {
+    let mut out = Vec::new();
+    let height = cluster
+        .nodes()[osn]
+        .height(&net.channel)
+        .unwrap_or(0);
+    for seq in 1..height {
+        out.extend(
+            cluster
+                .deliver_from(osn, &net.channel, seq)
+                .expect("below height")
+                .envelopes,
+        );
+    }
+    out
+}
+
+#[test]
+fn pbft_view_change_recovers_partially_replicated_batch() {
+    // A faulty primary seals a batched pre-prepare that reaches only one
+    // backup (no prepare quorum — the batch is *partially replicated*),
+    // then fail-stops. The relayed requests arm view-change timers on
+    // every backup; the timeout elects replica 1 as the view-1 primary,
+    // which re-proposes the pending payloads. Delivery-time dedup keeps
+    // every envelope exactly-once whether or not a prepared certificate
+    // carried the original batch into the new view.
+    const OSNS: usize = 4;
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Pbft,
+        OSNS,
+        BatchConfig {
+            max_message_count: 2,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 200,
+        },
+    );
+    let mut cluster = OrderingCluster::new(
+        ConsensusType::Pbft,
+        net.orderers(OSNS),
+        vec![net.genesis.clone()],
+    )
+    .expect("bootstrap");
+    let client = net.client(0, "c1");
+    let envs: Vec<Envelope> = (0..5)
+        .map(|i| make_envelope(&client, &net.channel, nonce(i), TxReadWriteSet::default()))
+        .collect();
+
+    // Baseline: one block commits in view 0 under the original primary.
+    let primary = cluster.nodes()[0].consensus_leader().expect("pbft primary");
+    assert_eq!(primary, 0, "view 0 primary is replica 0");
+    for env in &envs[..2] {
+        cluster
+            .broadcast_via(primary as usize, env.clone())
+            .unwrap();
+    }
+    for _ in 0..3 {
+        cluster.tick();
+    }
+    assert_eq!(cluster.height(&net.channel), 2, "genesis + one block");
+
+    // Partial replication: the primary's outbound traffic reaches only
+    // backup 1. A batch submitted via backup 3 is relayed to everyone
+    // (arming view-change timers), sealed by the primary, and its
+    // pre-prepare lands on a single backup — short of any quorum.
+    cluster.set_fault(Box::new(move |from, to, _| from != primary || to == 1));
+    for verdict in cluster.broadcast_batch_via(3, envs[2..].to_vec()) {
+        verdict.unwrap();
+    }
+    for osn in 0..OSNS {
+        assert_eq!(
+            cluster.nodes()[osn].height(&net.channel).unwrap(),
+            2,
+            "partially replicated batch must not commit (OSN {osn})"
+        );
+    }
+    cluster.crash(primary);
+    cluster.clear_fault();
+
+    // Request timers expire; the backups view-change to view 1 and the
+    // new primary re-proposes everything still pending.
+    for _ in 0..40 {
+        cluster.tick();
+    }
+    let survivor = 1usize;
+    assert_eq!(
+        cluster.nodes()[survivor].consensus_leader(),
+        Some(1),
+        "replica 1 is the view-1 primary"
+    );
+
+    cluster.assert_identical_chains(&net.channel);
+    for osn in 1..OSNS {
+        let all = delivered_on(&cluster, &net, osn);
+        for (i, env) in envs.iter().enumerate() {
+            assert_eq!(
+                all.iter().filter(|e| *e == env).count(),
+                1,
+                "envelope {i} delivered exactly once on OSN {osn}"
+            );
+        }
+    }
+}
+
 #[test]
 fn orderer_signatures_cover_every_block() {
     let (net, cluster, _) = run_workload(ConsensusType::Raft, 3, 6);
