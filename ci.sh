@@ -19,13 +19,22 @@
 #  7. The ordering, raft, and pbft crates pass clippy with -D warnings
 #     (these carry the pipelined replication windows, batched
 #     pre-prepares, and the verify pool this gate guards).
-#  8. The snapshot catch-up, multi-channel overlap, endorsement overlap,
-#     storage scale, and ordering throughput benches complete a smoke
-#     sweep (~25 s) — catches bit-rot in the snapshot wire path, the
+#  8. The gossip churn battery (1000 peers under --release, 120 in
+#     debug) re-runs under --release: crash/restart waves with
+#     incarnations, late joins, a partition window, leaves with member
+#     GC, and snapshot-catch-up flips — release timing is what the
+#     1000-peer run is calibrated against.
+#  9. The gossip and simnet crates pass clippy with -D warnings (these
+#     carry the two-lane scheduler, rate-limit/reputation state machine,
+#     and the churn orchestration this gate guards).
+# 10. The snapshot catch-up, multi-channel overlap, endorsement overlap,
+#     storage scale, ordering throughput, and gossip scale benches
+#     complete a smoke sweep (~30 s) — catches bit-rot in the snapshot wire path, the
 #     shared-pool pipeline manager, the starved-channel DRR/FIFO
 #     scenario, the endorse-pipeline submit/sign path, and the simnet
 #     ordering driver (which also asserts pipelined beats lockstep)
-#     that unit tests alone might miss.
+#     that unit tests alone might miss; the gossip smoke also asserts
+#     priority-lane p99 beats flat under bulk statesync load.
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -96,6 +105,19 @@ else
     RUSTFLAGS="-Dwarnings" cargo build -p fabric-ordering -p fabric-raft -p fabric-pbft
 fi
 
+echo "== gossip churn battery under --release (1000 peers) =="
+cargo test -q --release --test gossip_churn
+
+echo "== fabric-gossip / fabric-simnet: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/gossip/src crates/simnet/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-gossip -p fabric-simnet --all-targets -- -D warnings
+else
+    echo "clippy not installed; falling back to rustc warning gate"
+    find crates/gossip/src crates/simnet/src -name '*.rs' -exec touch {} +
+    RUSTFLAGS="-Dwarnings" cargo build -p fabric-gossip -p fabric-simnet
+fi
+
 echo "== catch-up bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench catchup -p fabric-bench
 
@@ -110,5 +132,8 @@ FABRIC_BENCH_SMOKE=1 cargo bench -q --bench storage_scale -p fabric-bench
 
 echo "== ordering throughput bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench ordering_throughput -p fabric-bench
+
+echo "== gossip scale bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench gossip_scale -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

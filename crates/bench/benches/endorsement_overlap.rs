@@ -153,7 +153,7 @@ fn main() {
             let txid = TxId::derive(&client.identity().serialized().to_wire(), &nonce);
             let request = wallet
                 .create_spend(
-                    &[coin.key.clone()],
+                    std::slice::from_ref(&coin.key),
                     vec![CoinState {
                         amount: coin.amount,
                         owner: address.clone(),

@@ -178,8 +178,10 @@ fn build_spend_chain(
     assert!(coins.len() >= n_tx, "not enough coins minted");
     let mut measured = Vec::with_capacity(n_blocks);
     let mut prev = setup[0].hash();
-    let mut next_number = builder.height();
-    for chunk in coins.chunks(txs_per_block).take(n_blocks) {
+    let first_number = builder.height();
+    for (next_number, chunk) in
+        (first_number..).zip(coins.chunks(txs_per_block).take(n_blocks))
+    {
         let envelopes = chunk
             .iter()
             .map(|coin| {
@@ -188,7 +190,7 @@ fn build_spend_chain(
                     TxId::derive(&client.identity().serialized().to_wire(), &nonce);
                 let request = wallet
                     .create_spend(
-                        &[coin.key.clone()],
+                        std::slice::from_ref(&coin.key),
                         vec![CoinState {
                             amount: coin.amount,
                             owner: address.clone(),
@@ -211,7 +213,6 @@ fn build_spend_chain(
             .collect();
         let block = Block::new(next_number, prev, envelopes);
         prev = block.hash();
-        next_number += 1;
         measured.push(block);
     }
     (setup, measured)

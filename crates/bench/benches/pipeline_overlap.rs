@@ -123,8 +123,10 @@ fn build_chain(
     assert!(coins.len() >= n_tx, "not enough coins minted");
     let mut measured = Vec::with_capacity(n_blocks);
     let mut prev = setup[0].hash();
-    let mut next_number = builder.height();
-    for chunk in coins.chunks(txs_per_block).take(n_blocks) {
+    let first_number = builder.height();
+    for (next_number, chunk) in
+        (first_number..).zip(coins.chunks(txs_per_block).take(n_blocks))
+    {
         let envelopes = chunk
             .iter()
             .map(|coin| {
@@ -133,7 +135,7 @@ fn build_chain(
                     TxId::derive(&client.identity().serialized().to_wire(), &nonce);
                 let request = wallet
                     .create_spend(
-                        &[coin.key.clone()],
+                        std::slice::from_ref(&coin.key),
                         vec![CoinState {
                             amount: coin.amount,
                             owner: address.clone(),
@@ -156,7 +158,6 @@ fn build_chain(
             .collect();
         let block = Block::new(next_number, prev, envelopes);
         prev = block.hash();
-        next_number += 1;
         measured.push(block);
     }
     (setup, measured)

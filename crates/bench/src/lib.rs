@@ -124,7 +124,7 @@ pub fn table2_experiment(
     // 20 peers per region.
     let mut peer_regions = Vec::new();
     for r in 0..n {
-        peer_regions.extend(std::iter::repeat(r).take(20));
+        peer_regions.extend(std::iter::repeat_n(r, 20));
     }
     let gossip_orgs = gossip.then(|| {
         // 2 orgs of 10 peers per DC (the paper's layout).

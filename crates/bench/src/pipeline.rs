@@ -216,7 +216,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
                 let txid = TxId::derive(&client.identity().serialized().to_wire(), &nonce);
                 let request = wallet
                     .create_spend(
-                        &[coin.key.clone()],
+                        std::slice::from_ref(&coin.key),
                         vec![CoinState {
                             amount: coin.amount,
                             owner: address.clone(),

@@ -31,6 +31,7 @@ use std::collections::{BTreeMap, HashMap};
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
+use fabric_gossip::{GossipNode, PeerId as GossipPeerId};
 use fabric_primitives::block::Block;
 use fabric_primitives::ids::ChannelId;
 use fabric_primitives::wire::Wire;
@@ -211,6 +212,38 @@ impl DeliverMux {
         } else {
             Deliver::Parked
         })
+    }
+
+    /// Routes a gossip `DeliverBlock` output and reports the intake
+    /// verdict back to the gossip node, closing its reputation loop:
+    /// an undecodable payload or a payload/number mismatch charges the
+    /// supplying peer (`GossipNode::report_verdict(from, false)` — enough
+    /// repeats quarantine it), while an accepted block credits it.
+    ///
+    /// Only *provider-attributable* failures are scored: an unattached
+    /// channel is this node's own configuration problem and charges no
+    /// one. Deeper verification failures (tampered content caught by the
+    /// async pipeline's integrity/VSCC stages) surface later; drivers
+    /// report those directly with `report_verdict` when the pipeline
+    /// errors.
+    pub fn deliver_from_gossip(
+        &self,
+        gossip: &mut GossipNode,
+        channel: &ChannelId,
+        block_num: u64,
+        payload: &[u8],
+        from: Option<GossipPeerId>,
+    ) -> Result<Deliver, PeerError> {
+        if !self.channels.lock().contains_key(channel) {
+            return Err(PeerError::BadBlock(format!(
+                "channel {channel:?} not attached"
+            )));
+        }
+        let result = self.deliver(channel, block_num, payload);
+        if let Some(peer) = from {
+            gossip.report_verdict(peer, result.is_ok());
+        }
+        result
     }
 
     /// Re-checks one channel's credits and submits any parked blocks they

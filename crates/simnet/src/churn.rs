@@ -1,0 +1,258 @@
+//! Churn orchestration for large-scale simulations.
+//!
+//! Drivers that run hundreds of simulated nodes through join/leave/crash
+//! waves and partition windows all need the same bookkeeping: which nodes
+//! are up at time `t`, which pairs can currently exchange messages, and
+//! which lifecycle transitions just fired so the driver can react (spawn
+//! fresh state, bump an incarnation number, drop a node's queues).
+//!
+//! [`ChurnSchedule`] declares the whole timeline up front — waves of
+//! crashes, staggered joins, a partition window — and [`ChurnRunner`]
+//! replays it against the simulated clock: the driver calls
+//! [`ChurnRunner::advance_to`] with each event's timestamp, reacts to the
+//! transitions it returns, and consults [`ChurnRunner::connected`] to
+//! decide whether an arriving message should be dropped.
+
+use crate::{SimNodeId, SimTime};
+
+/// One lifecycle transition in a churn timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A node comes up for the first time (the driver creates fresh
+    /// state for it).
+    Join(SimNodeId),
+    /// A node fails abruptly; messages addressed to it while down are
+    /// lost.
+    Crash(SimNodeId),
+    /// A previously crashed node comes back. The driver decides what
+    /// survives the outage — e.g. rebuilds the node with a bumped
+    /// incarnation number.
+    Restart(SimNodeId),
+    /// A node departs permanently and silently (no goodbye message —
+    /// the rest of the overlay must age it out).
+    Leave(SimNodeId),
+    /// The network splits: `groups[node]` assigns every node a group id
+    /// and only same-group pairs can communicate. Replaces any partition
+    /// already in effect.
+    PartitionStart(Vec<usize>),
+    /// The current partition heals.
+    PartitionHeal,
+}
+
+impl ChurnEvent {
+    fn apply(&self, up: &mut [bool], partition: &mut Option<Vec<usize>>) {
+        match self {
+            ChurnEvent::Join(n) | ChurnEvent::Restart(n) => up[*n] = true,
+            ChurnEvent::Crash(n) | ChurnEvent::Leave(n) => up[*n] = false,
+            ChurnEvent::PartitionStart(groups) => *partition = Some(groups.clone()),
+            ChurnEvent::PartitionHeal => *partition = None,
+        }
+    }
+}
+
+/// A declarative churn timeline over `n` nodes. Build it up front, then
+/// [`ChurnSchedule::into_runner`] to replay it.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    initially_up: Vec<bool>,
+    events: Vec<(SimTime, ChurnEvent)>,
+}
+
+impl ChurnSchedule {
+    /// A schedule over `n` nodes, all initially up.
+    pub fn new(n: usize) -> Self {
+        ChurnSchedule {
+            initially_up: vec![true; n],
+            events: Vec::new(),
+        }
+    }
+
+    /// Marks `node` as down at time zero (it enters later via a
+    /// [`ChurnEvent::Join`]).
+    pub fn down_at_start(&mut self, node: SimNodeId) -> &mut Self {
+        self.initially_up[node] = false;
+        self
+    }
+
+    /// Adds one event at absolute time `at`. Events at equal times fire
+    /// in insertion order.
+    pub fn at(&mut self, at: SimTime, event: ChurnEvent) -> &mut Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Adds a wave: one event per node, starting at `start` and spaced
+    /// `spacing` apart, in iteration order. Models gradual churn (a
+    /// rolling crash or a staggered join) rather than a cliff.
+    pub fn wave(
+        &mut self,
+        start: SimTime,
+        spacing: u64,
+        nodes: impl IntoIterator<Item = SimNodeId>,
+        event: impl Fn(SimNodeId) -> ChurnEvent,
+    ) -> &mut Self {
+        for (i, node) in nodes.into_iter().enumerate() {
+            self.events.push((start + spacing * i as u64, event(node)));
+        }
+        self
+    }
+
+    /// Adds a partition holding from `from` until it heals at `until`.
+    /// `groups[node]` is each node's side of the split.
+    pub fn partition_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        groups: Vec<usize>,
+    ) -> &mut Self {
+        assert!(from < until, "partition must heal after it starts");
+        self.events.push((from, ChurnEvent::PartitionStart(groups)));
+        self.events.push((until, ChurnEvent::PartitionHeal));
+        self
+    }
+
+    /// Freezes the schedule into a replayable runner.
+    pub fn into_runner(mut self) -> ChurnRunner {
+        // Stable: equal-time events keep insertion order.
+        self.events.sort_by_key(|&(t, _)| t);
+        ChurnRunner {
+            up: self.initially_up,
+            partition: None,
+            events: self.events,
+            cursor: 0,
+        }
+    }
+}
+
+/// Replays a [`ChurnSchedule`] against the simulated clock.
+#[derive(Clone, Debug)]
+pub struct ChurnRunner {
+    up: Vec<bool>,
+    partition: Option<Vec<usize>>,
+    events: Vec<(SimTime, ChurnEvent)>,
+    cursor: usize,
+}
+
+impl ChurnRunner {
+    /// Applies every event with timestamp `<= now` and returns them so
+    /// the driver can react (in firing order). Call with each simulator
+    /// event's time; the clock must not go backwards.
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<(SimTime, ChurnEvent)> {
+        let mut fired = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= now {
+            let (t, event) = self.events[self.cursor].clone();
+            event.apply(&mut self.up, &mut self.partition);
+            fired.push((t, event));
+            self.cursor += 1;
+        }
+        fired
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_up(&self, node: SimNodeId) -> bool {
+        self.up[node]
+    }
+
+    /// Whether a message from `a` can currently reach `b`: both up, and
+    /// on the same side of any partition in effect.
+    pub fn connected(&self, a: SimNodeId, b: SimNodeId) -> bool {
+        self.up[a]
+            && self.up[b]
+            && self
+                .partition
+                .as_ref()
+                .is_none_or(|groups| groups[a] == groups[b])
+    }
+
+    /// Number of nodes currently up.
+    pub fn up_count(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Whether a partition is currently in effect.
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions_apply_in_order() {
+        let mut s = ChurnSchedule::new(3);
+        s.down_at_start(2)
+            .at(10, ChurnEvent::Crash(0))
+            .at(20, ChurnEvent::Restart(0))
+            .at(15, ChurnEvent::Join(2))
+            .at(30, ChurnEvent::Leave(1));
+        let mut r = s.into_runner();
+        assert!(r.is_up(0) && r.is_up(1) && !r.is_up(2));
+
+        let fired = r.advance_to(12);
+        assert_eq!(fired, vec![(10, ChurnEvent::Crash(0))]);
+        assert!(!r.is_up(0));
+
+        // Catches up across several timestamps at once, in time order.
+        let fired = r.advance_to(25);
+        assert_eq!(
+            fired,
+            vec![(15, ChurnEvent::Join(2)), (20, ChurnEvent::Restart(0))]
+        );
+        assert!(r.is_up(0) && r.is_up(2));
+
+        r.advance_to(100);
+        assert!(!r.is_up(1), "left permanently");
+        assert_eq!(r.up_count(), 2);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut s = ChurnSchedule::new(1);
+        s.at(5, ChurnEvent::Crash(0)).at(5, ChurnEvent::Restart(0));
+        let mut r = s.into_runner();
+        r.advance_to(5);
+        assert!(r.is_up(0), "crash then restart at the same instant");
+    }
+
+    #[test]
+    fn partition_window_blocks_cross_group_pairs() {
+        let mut s = ChurnSchedule::new(4);
+        s.partition_window(10, 20, vec![0, 0, 1, 1]);
+        let mut r = s.into_runner();
+        assert!(r.connected(0, 3), "no partition yet");
+
+        r.advance_to(10);
+        assert!(r.partitioned());
+        assert!(r.connected(0, 1), "same side");
+        assert!(!r.connected(0, 3), "across the cut");
+        assert!(!r.connected(3, 0), "symmetric");
+
+        r.advance_to(20);
+        assert!(!r.partitioned());
+        assert!(r.connected(0, 3), "healed");
+    }
+
+    #[test]
+    fn down_node_is_never_connected() {
+        let mut s = ChurnSchedule::new(2);
+        s.at(5, ChurnEvent::Crash(1));
+        let mut r = s.into_runner();
+        r.advance_to(5);
+        assert!(!r.connected(0, 1));
+        assert!(!r.connected(1, 0));
+        assert!(r.connected(0, 0), "a live node reaches itself");
+    }
+
+    #[test]
+    fn wave_staggers_events() {
+        let mut s = ChurnSchedule::new(5);
+        s.wave(100, 10, 1..4, ChurnEvent::Crash);
+        let mut r = s.into_runner();
+        assert_eq!(r.advance_to(99).len(), 0);
+        assert_eq!(r.advance_to(110).len(), 2, "t=100 and t=110");
+        assert!(!r.is_up(1) && !r.is_up(2) && r.is_up(3));
+        assert_eq!(r.advance_to(120), vec![(120, ChurnEvent::Crash(3))]);
+    }
+}

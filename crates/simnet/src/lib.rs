@@ -33,6 +33,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+pub mod churn;
+
 /// Identifier of a simulated node.
 pub type SimNodeId = usize;
 
@@ -208,6 +210,8 @@ impl<M> Simulator<M> {
     }
 
     /// Pops the next event, advancing the clock. `None` when idle.
+    /// Not an `Iterator`: callers need `&mut self` access between polls.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, SimEvent<M>)> {
         let Reverse((at, _, idx)) = self.queue.pop()?;
         self.now = at;

@@ -223,6 +223,17 @@ pub mod seq {
         /// Fisher–Yates shuffle in place.
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
 
+        /// Partial Fisher–Yates: after the call the first
+        /// `amount.min(len)` elements are a uniform random sample of the
+        /// whole slice, in random order. Returns the `(sampled, rest)`
+        /// split. O(amount) swaps — cheap when sampling a small fanout
+        /// from a large population.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
         /// Uniformly random element, `None` on an empty slice.
         fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
     }
@@ -235,6 +246,19 @@ pub mod seq {
                 let j = rng.gen_range(0..=i);
                 self.swap(i, j);
             }
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let j = rng.gen_range(i..self.len());
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
         }
 
         fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
@@ -295,6 +319,28 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn partial_shuffle_samples_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        let (sampled, rest) = v.partial_shuffle(&mut rng, 10);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(rest.len(), 90);
+        let mut all: Vec<u32> = sampled.iter().chain(rest.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        let mut uniq = sampled.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "sample must not repeat elements");
+
+        // Asking for more than the slice holds clamps to a full shuffle.
+        let mut w: Vec<u32> = (0..5).collect();
+        let (sampled, rest) = w.partial_shuffle(&mut rng, 50);
+        assert_eq!(sampled.len(), 5);
+        assert!(rest.is_empty());
     }
 
     #[test]

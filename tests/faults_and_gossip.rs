@@ -222,6 +222,7 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
             }
             GossipOutput::PullFromOrderer { .. } => {}
             GossipOutput::DeliverStateSync { .. } => {}
+            GossipOutput::SnapshotCatchup { .. } => {}
         }
     }
 
@@ -234,6 +235,113 @@ fn gossip_delivers_ordered_blocks_to_non_endorsing_peers() {
     for (i, peer) in peers.iter().enumerate() {
         assert_eq!(peer.height(), 6, "peer {i} converged via gossip");
     }
+}
+
+#[test]
+fn mislabelled_gossip_payloads_quarantine_the_provider() {
+    // A malicious relay feeds garbage through the deliver mux; the intake
+    // verdict flows back into gossip reputation and quarantines it, while
+    // an honest provider delivering real blocks is credited.
+    use fabric::peer::{DeliverMux, PipelineOptions};
+
+    let net = TestNet::with_batch(
+        &["Org1"],
+        ConsensusType::Solo,
+        1,
+        BatchConfig {
+            max_message_count: 1,
+            absolute_max_bytes: 10 << 20,
+            preferred_max_bytes: 2 << 20,
+            batch_timeout_ms: 1000,
+        },
+    );
+    let mut ordering = OrderingCluster::new(
+        ConsensusType::Solo,
+        net.orderers(1),
+        vec![net.genesis.clone()],
+    )
+    .unwrap();
+    let genesis = ordering.deliver(&net.channel, 0).unwrap();
+    let identity = fabric::msp::issue_identity(&net.org_cas[0], "p", Role::Peer, b"p");
+    let peer = Peer::join(
+        identity,
+        &genesis,
+        Arc::new(MemBackend::new()),
+        PeerConfig::default(),
+    )
+    .unwrap();
+    let mux = DeliverMux::new(1);
+    mux.attach(net.channel.clone(), &peer, PipelineOptions::default())
+        .unwrap();
+
+    let mut gossip = GossipNode::new(
+        1,
+        "Org1MSP",
+        &[(2, "Org1MSP".into()), (3, "Org1MSP".into())],
+        vec![net.channel.clone()],
+        GossipConfig::default(), // quarantine_threshold: 3
+        7,
+    );
+    gossip.tick();
+    for p in [2, 3] {
+        gossip.step(p, fabric::gossip::GossipMessage::Membership { alive: vec![] });
+    }
+
+    // Peer 2 relays undecodable payloads labelled as block 1.
+    for i in 0..3u8 {
+        let err = mux.deliver_from_gossip(
+            &mut gossip,
+            &net.channel,
+            1,
+            &[i; 32],
+            Some(2),
+        );
+        assert!(matches!(err, Err(PeerError::BadBlock(_))));
+    }
+    assert!(gossip.is_quarantined(2), "three bad payloads quarantine");
+    assert!(!gossip.alive_peers().contains(&2));
+    // Its pushes are now dropped on ingress.
+    let out = gossip.step(
+        2,
+        fabric::gossip::GossipMessage::BlockPush {
+            channel: net.channel.clone(),
+            block_num: 1,
+            payload: vec![0; 8],
+        },
+    );
+    assert!(out.is_empty());
+
+    // An unattached channel is a local problem: nobody gets charged.
+    let other = fabric::primitives::ids::ChannelId::new("unattached");
+    assert!(mux
+        .deliver_from_gossip(&mut gossip, &other, 1, &[0; 8], Some(3))
+        .is_err());
+    assert!(!gossip.is_quarantined(3));
+
+    // Peer 3 relays the genuine block: accepted, reputation credited.
+    let block1 = {
+        let client = net.client(0, "c1");
+        ordering
+            .broadcast(make_envelope(
+                &client,
+                &net.channel,
+                [7u8; 32],
+                TxReadWriteSet::default(),
+            ))
+            .unwrap();
+        ordering.deliver(&net.channel, 1).unwrap()
+    };
+    mux.deliver_from_gossip(
+        &mut gossip,
+        &net.channel,
+        1,
+        &block1.to_wire(),
+        Some(3),
+    )
+    .expect("genuine block accepted");
+    assert!(!gossip.is_quarantined(3));
+    mux.wait_committed(&net.channel, 2).unwrap();
+    mux.close().unwrap();
 }
 
 #[test]

@@ -389,22 +389,30 @@ fn gossip_delivers_two_channels_through_one_mux() {
         .collect();
 
     type Pending = std::collections::VecDeque<(u64, u64, fabric::gossip::GossipMessage)>;
-    let route = |output: GossipOutput, from: u64, idx: usize, pending: &mut Pending| {
+    let route = |output: GossipOutput,
+                 from: u64,
+                 idx: usize,
+                 pending: &mut Pending,
+                 gossip: &mut GossipNode| {
         match output {
             GossipOutput::Send { to, message } => pending.push_back((from, to, message)),
             GossipOutput::DeliverBlock {
                 channel,
                 block_num,
                 payload,
+                from: provider,
             } => {
                 // The mux absorbs redeliveries (`Deliver::Duplicate`);
-                // anything else must be an in-order submit or park.
+                // anything else must be an in-order submit or park. The
+                // intake verdict flows back into gossip's reputation
+                // scoring against the supplying peer.
                 muxes[idx]
-                    .deliver(&channel, block_num, &payload)
+                    .deliver_from_gossip(gossip, &channel, block_num, &payload, provider)
                     .expect("gossip delivery is contiguous per channel");
             }
             GossipOutput::PullFromOrderer { .. } => {}
             GossipOutput::DeliverStateSync { .. } => {}
+            GossipOutput::SnapshotCatchup { .. } => {}
         }
     };
     let mut pending: Pending = Default::default();
@@ -429,20 +437,24 @@ fn gossip_delivers_two_channels_through_one_mux() {
                             block.to_wire(),
                         );
                         for m in more {
-                            route(m, node_id, idx, &mut pending);
+                            route(m, node_id, idx, &mut pending, &mut gossips[idx]);
                         }
                     }
                 } else {
-                    route(output, node_id, idx, &mut pending);
+                    route(output, node_id, idx, &mut pending, &mut gossips[idx]);
                 }
             }
         }
         while let Some((from, to, message)) = pending.pop_front() {
             let idx = (to - 1) as usize;
             for output in gossips[idx].step(from, message) {
-                route(output, to, idx, &mut pending);
+                route(output, to, idx, &mut pending, &mut gossips[idx]);
             }
         }
+    }
+    // Honest providers were never quarantined by the verdict loop.
+    for gossip in &gossips {
+        assert_eq!(gossip.stats().quarantines, 0);
     }
 
     // Both nodes converged on both channels: genesis + 4 tx blocks each.
