@@ -35,6 +35,11 @@
 #     ordering driver (which also asserts pipelined beats lockstep)
 #     that unit tests alone might miss; the gossip smoke also asserts
 #     priority-lane p99 beats flat under bulk statesync load.
+# 11. The gateway battery (equivalence proptest, fault injection, closed-
+#     loop e2e conservation) re-runs under --release, the gateway crate
+#     passes clippy with -D warnings, and the gateway e2e bench smoke
+#     asserts the 2x-overload bars (throughput within 10% of the
+#     ceiling, bounded p99, baseline degradation).
 #
 # Run from the repo root: ./ci.sh
 set -euo pipefail
@@ -135,5 +140,21 @@ FABRIC_BENCH_SMOKE=1 cargo bench -q --bench ordering_throughput -p fabric-bench
 
 echo "== gossip scale bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
 FABRIC_BENCH_SMOKE=1 cargo bench -q --bench gossip_scale -p fabric-bench
+
+echo "== gateway battery under --release: equivalence + faults + e2e =="
+cargo test -q --release --test gateway_equivalence --test gateway_faults --test gateway_e2e
+
+echo "== fabric-gateway: clippy gate (-D warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    find crates/gateway/src -name '*.rs' -exec touch {} +
+    cargo clippy -p fabric-gateway --all-targets -- -D warnings
+else
+    echo "clippy not installed; falling back to rustc warning gate"
+    find crates/gateway/src -name '*.rs' -exec touch {} +
+    RUSTFLAGS="-Dwarnings" cargo build -p fabric-gateway
+fi
+
+echo "== gateway e2e bench: smoke run (FABRIC_BENCH_SMOKE=1) =="
+FABRIC_BENCH_SMOKE=1 cargo bench -q --bench gateway_e2e -p fabric-bench
 
 echo "== ci.sh: all gates passed =="

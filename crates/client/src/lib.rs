@@ -8,6 +8,7 @@
 
 use parking_lot::Mutex;
 
+use fabric_gateway::{Admit, Gateway, SimClock};
 use fabric_msp::SigningIdentity;
 use fabric_ordering::OrderingCluster;
 use fabric_peer::Peer;
@@ -28,6 +29,14 @@ pub enum ClientError {
     DivergingResults,
     /// The ordering service rejected the broadcast.
     BroadcastRejected(String),
+    /// The gateway kept shedding the submission until the retry budget
+    /// ran out.
+    GatewayOverloaded {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The gateway's last `RetryAfter` hint, in milliseconds.
+        last_retry_ms: u64,
+    },
 }
 
 impl core::fmt::Display for ClientError {
@@ -40,11 +49,68 @@ impl core::fmt::Display for ClientError {
                 write!(f, "endorsers produced diverging simulation results")
             }
             ClientError::BroadcastRejected(msg) => write!(f, "broadcast rejected: {msg}"),
+            ClientError::GatewayOverloaded {
+                attempts,
+                last_retry_ms,
+            } => write!(
+                f,
+                "gateway overloaded after {attempts} attempts (last retry-after {last_retry_ms} ms)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// How [`Client::submit_via_gateway`] reacts to `RetryAfter` verdicts:
+/// exponential backoff on the gateway's hint, plus deterministic jitter
+/// so a herd of clients shed at the same instant does not return in
+/// lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts before giving up with [`ClientError::GatewayOverloaded`].
+    pub max_attempts: u32,
+    /// Jitter span as a percentage of the backed-off delay (`50` adds up
+    /// to +50%).
+    pub jitter_pct: u64,
+    /// Seed for the deterministic jitter (mixed with the transaction id
+    /// and attempt number, so two clients or two transactions never share
+    /// a jitter sequence).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            jitter_pct: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// What [`Client::submit_via_gateway`] accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatewayOutcome {
+    /// Admitted into the gateway mempool.
+    Admitted {
+        /// Submission attempts made (1 = first try).
+        attempts: u32,
+        /// Total simulated milliseconds spent backing off.
+        waited_ms: u64,
+    },
+    /// The gateway already has (or had) this transaction.
+    AlreadySubmitted,
+}
+
+/// splitmix64 — the standard 64-bit finalizer; one step is enough to
+/// decorrelate `seed ^ tx ^ attempt` into uniform jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
 
 /// A Fabric client bound to one identity and one channel.
 pub struct Client {
@@ -188,6 +254,64 @@ impl Client {
             .broadcast(envelope)
             .map_err(|e| ClientError::BroadcastRejected(e.to_string()))?;
         Ok(tx_id)
+    }
+
+    /// Submits an assembled envelope through a [`Gateway`], honoring
+    /// `RetryAfter` verdicts with jittered exponential backoff on the
+    /// simulated clock.
+    ///
+    /// Between attempts the caller-supplied `pump` runs so the system can
+    /// make progress (drain the mempool, commit blocks, report credits
+    /// back) — without it an overloaded gateway would never clear and
+    /// every retry would be futile. The backoff is fully deterministic:
+    /// delay = hint × 2^min(attempt−1, 3) plus jitter derived from
+    /// `policy.seed`, the transaction id, and the attempt number.
+    pub fn submit_via_gateway<F>(
+        &self,
+        gateway: &mut Gateway,
+        clock: &mut SimClock,
+        envelope: Envelope,
+        fee: u64,
+        policy: RetryPolicy,
+        mut pump: F,
+    ) -> Result<GatewayOutcome, ClientError>
+    where
+        F: FnMut(&mut Gateway, u64),
+    {
+        let tx_id = envelope.tx_id();
+        let tx_word = u64::from_le_bytes(tx_id.0[..8].try_into().expect("32-byte tx id"));
+        let mut waited_ms = 0u64;
+        let mut last_retry_ms = 0u64;
+        for attempt in 1..=policy.max_attempts.max(1) {
+            match gateway.submit(envelope.clone(), fee, clock.now_ms()) {
+                Admit::Admitted => {
+                    return Ok(GatewayOutcome::Admitted { attempts: attempt, waited_ms });
+                }
+                Admit::Duplicate => return Ok(GatewayOutcome::AlreadySubmitted),
+                Admit::RetryAfter { after_ms, .. } => {
+                    last_retry_ms = after_ms;
+                    if attempt == policy.max_attempts.max(1) {
+                        // No attempt left to back off for.
+                        break;
+                    }
+                    let backoff = after_ms << (attempt - 1).min(3);
+                    let span = backoff * policy.jitter_pct / 100;
+                    let jitter = if span == 0 {
+                        0
+                    } else {
+                        splitmix64(policy.seed ^ tx_word ^ attempt as u64) % (span + 1)
+                    };
+                    let delay = backoff + jitter;
+                    clock.advance(delay);
+                    waited_ms += delay;
+                    pump(gateway, clock.now_ms());
+                }
+            }
+        }
+        Err(ClientError::GatewayOverloaded {
+            attempts: policy.max_attempts.max(1),
+            last_retry_ms,
+        })
     }
 
     /// Read-only query: simulate at one peer and return the chaincode's

@@ -18,12 +18,14 @@ pub mod network;
 pub mod types;
 pub mod vscc;
 pub mod wallet;
+pub mod workload;
 
 pub use chaincode::FabcoinChaincode;
 pub use network::{FabcoinNetwork, FabcoinNetworkConfig};
 pub use types::{coin_key, CoinState, FabcoinRequest, FABCOIN_NAMESPACE};
 pub use vscc::FabcoinVscc;
 pub use wallet::{CentralBank, OwnedCoin, Wallet};
+pub use workload::{GatewayWorkload, TransferOutcome, WorkloadConfig, WorkloadStats, Zipfian};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,224 @@
+//! The admission core shared by both gateway faces: transaction-id LRU
+//! dedup (the cheapest rejection, taken before any signature is verified)
+//! and per-client token buckets (lazy integer refill in milli-tokens —
+//! no floats, no wall clock, fully deterministic).
+
+use std::collections::{BTreeMap, HashMap};
+
+use fabric_primitives::ids::TxId;
+
+/// A bounded LRU set of recently seen transaction ids.
+///
+/// Hits refresh recency, so a transaction being actively flooded stays in
+/// the window for as long as the flood lasts — exactly the case the dedup
+/// exists for.
+pub struct DedupLru {
+    capacity: usize,
+    stamp: u64,
+    by_id: HashMap<TxId, u64>,
+    by_stamp: BTreeMap<u64, TxId>,
+}
+
+impl DedupLru {
+    /// A window remembering at most `capacity` ids (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        DedupLru {
+            capacity: capacity.max(1),
+            stamp: 0,
+            by_id: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `id` is in the window; a hit refreshes its recency.
+    pub fn check(&mut self, id: &TxId) -> bool {
+        let Some(stamp) = self.by_id.get(id).copied() else {
+            return false;
+        };
+        self.by_stamp.remove(&stamp);
+        self.stamp += 1;
+        self.by_stamp.insert(self.stamp, *id);
+        self.by_id.insert(*id, self.stamp);
+        true
+    }
+
+    /// Records `id`, evicting the least-recently-seen id past capacity.
+    pub fn insert(&mut self, id: TxId) {
+        if self.check(&id) {
+            return;
+        }
+        self.stamp += 1;
+        self.by_id.insert(id, self.stamp);
+        self.by_stamp.insert(self.stamp, id);
+        if self.by_id.len() > self.capacity {
+            if let Some((&oldest, &victim)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&oldest);
+                self.by_id.remove(&victim);
+            }
+        }
+    }
+
+    /// Forgets `id` (a mempool eviction hands the slot back so the
+    /// transaction can be legitimately resubmitted).
+    pub fn remove(&mut self, id: &TxId) {
+        if let Some(stamp) = self.by_id.remove(id) {
+            self.by_stamp.remove(&stamp);
+        }
+    }
+
+    /// Ids currently remembered.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+/// One client's token bucket. Tokens are kept in milli-tokens so that a
+/// rate of `r` tokens/second refills exactly `r` milli-tokens per
+/// millisecond — integer math, no drift.
+struct TokenBucket {
+    tokens_milli: u64,
+    last_ms: u64,
+}
+
+const TOKEN: u64 = 1000;
+
+/// Per-client admission state: the LRU dedup window plus one token
+/// bucket per client key (creator certificate bytes).
+pub(crate) struct Admission {
+    rate_per_sec: u64,
+    burst_milli: u64,
+    buckets: HashMap<Vec<u8>, TokenBucket>,
+    pub(crate) dedup: DedupLru,
+}
+
+/// Verdict of the pre-checks (dedup, rate): pass does not yet consume a
+/// token — call [`Admission::commit`] once the rest of admission holds.
+pub(crate) enum Gate {
+    Pass,
+    Duplicate,
+    /// Rate limited; retry after this many milliseconds.
+    Limited { after_ms: u64 },
+}
+
+impl Admission {
+    pub(crate) fn new(rate_per_sec: u64, burst: u64, dedup_capacity: usize) -> Self {
+        Admission {
+            rate_per_sec,
+            burst_milli: burst.max(1) * TOKEN,
+            buckets: HashMap::new(),
+            dedup: DedupLru::new(dedup_capacity),
+        }
+    }
+
+    fn refill(&mut self, client: &[u8], now_ms: u64) -> &mut TokenBucket {
+        let burst = self.burst_milli;
+        let rate = self.rate_per_sec;
+        let bucket = self
+            .buckets
+            .entry(client.to_vec())
+            .or_insert(TokenBucket { tokens_milli: burst, last_ms: now_ms });
+        if now_ms > bucket.last_ms {
+            let elapsed = now_ms - bucket.last_ms;
+            bucket.tokens_milli = bucket
+                .tokens_milli
+                .saturating_add(elapsed.saturating_mul(rate))
+                .min(burst);
+            bucket.last_ms = now_ms;
+        }
+        bucket
+    }
+
+    /// Dedup + rate pre-checks, cheapest first. Consumes nothing.
+    pub(crate) fn check(&mut self, tx_id: &TxId, client: &[u8], now_ms: u64) -> Gate {
+        if self.dedup.check(tx_id) {
+            return Gate::Duplicate;
+        }
+        if self.rate_per_sec == 0 {
+            return Gate::Pass;
+        }
+        let rate = self.rate_per_sec;
+        let bucket = self.refill(client, now_ms);
+        if bucket.tokens_milli >= TOKEN {
+            Gate::Pass
+        } else {
+            // Exact wait until the next whole token accrues.
+            let deficit = TOKEN - bucket.tokens_milli;
+            Gate::Limited { after_ms: deficit.div_ceil(rate).max(1) }
+        }
+    }
+
+    /// Consumes one token and records the id; call only after
+    /// [`Admission::check`] returned [`Gate::Pass`] and every other
+    /// admission condition held.
+    pub(crate) fn commit(&mut self, tx_id: TxId, client: &[u8], now_ms: u64) {
+        if self.rate_per_sec > 0 {
+            let bucket = self.refill(client, now_ms);
+            bucket.tokens_milli = bucket.tokens_milli.saturating_sub(TOKEN);
+        }
+        self.dedup.insert(tx_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> TxId {
+        TxId(fabric_crypto::digest(&[n]))
+    }
+
+    #[test]
+    fn dedup_lru_evicts_least_recent() {
+        let mut lru = DedupLru::new(2);
+        lru.insert(id(1));
+        lru.insert(id(2));
+        assert!(lru.check(&id(1)), "hit refreshes 1");
+        lru.insert(id(3)); // evicts 2, the least recently seen
+        assert!(lru.check(&id(1)));
+        assert!(!lru.check(&id(2)));
+        assert!(lru.check(&id(3)));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn dedup_remove_reopens_slot() {
+        let mut lru = DedupLru::new(4);
+        lru.insert(id(1));
+        lru.remove(&id(1));
+        assert!(!lru.check(&id(1)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        // 10 tokens/sec, burst 2.
+        let mut adm = Admission::new(10, 2, 64);
+        let c = b"client".as_slice();
+        for n in 0..2u8 {
+            assert!(matches!(adm.check(&id(n), c, 0), Gate::Pass));
+            adm.commit(id(n), c, 0);
+        }
+        // Burst spent: next token is 100 ms away.
+        match adm.check(&id(9), c, 0) {
+            Gate::Limited { after_ms } => assert_eq!(after_ms, 100),
+            _ => panic!("expected rate limit"),
+        }
+        // Waiting exactly the hint succeeds.
+        assert!(matches!(adm.check(&id(9), c, 100), Gate::Pass));
+        // Buckets are per client: another client is unaffected.
+        assert!(matches!(adm.check(&id(10), b"other", 0), Gate::Pass));
+    }
+
+    #[test]
+    fn duplicate_checked_before_rate() {
+        let mut adm = Admission::new(1, 1, 64);
+        adm.commit(id(1), b"c", 0);
+        // The duplicate verdict wins even with an empty bucket.
+        assert!(matches!(adm.check(&id(1), b"c", 0), Gate::Duplicate));
+    }
+}

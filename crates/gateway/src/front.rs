@@ -1,0 +1,149 @@
+//! The endorse-side gateway: the same admission core (tx-id dedup before
+//! any signature verification, per-client token buckets) in front of a
+//! peer's `EndorsePipeline`, turning its intake saturation into explicit
+//! `RetryAfter` verdicts.
+//!
+//! The pipeline's own submit path authenticates the proposal (an ECDSA
+//! verify) in a worker; a flooded duplicate never gets that far — the
+//! dedup window answers from one hash lookup, which is the whole point
+//! of shedding at the front door.
+
+use fabric_peer::{EndorsePipeline, EndorseTicket};
+use fabric_primitives::transaction::SignedProposal;
+
+use crate::admission::{Admission, Gate};
+use crate::gateway::ShedReason;
+
+/// Endorse-front construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontConfig {
+    /// Per-client admission rate (proposals per second); `0` disables.
+    pub client_rate_per_sec: u64,
+    /// Token-bucket burst (whole tokens).
+    pub client_burst: u64,
+    /// Proposal ids remembered by the dedup LRU.
+    pub dedup_capacity: usize,
+    /// Base retry hint when the pipeline intake is saturated (scaled up
+    /// with the pipeline backlog).
+    pub retry_after_ms: u64,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            client_rate_per_sec: 0,
+            client_burst: 32,
+            dedup_capacity: 4096,
+            retry_after_ms: 20,
+        }
+    }
+}
+
+/// Front counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrontStats {
+    /// Proposals received.
+    pub submitted: u64,
+    /// Proposals admitted into the pipeline.
+    pub admitted: u64,
+    /// Duplicates dropped before any signature verification.
+    pub duplicates: u64,
+    /// Proposals shed by per-client rate limiting.
+    pub rate_limited: u64,
+    /// Proposals shed because the pipeline intake (global or per-client)
+    /// was saturated.
+    pub saturated: u64,
+    /// Total `RetryAfter` verdicts issued.
+    pub retry_after_issued: u64,
+}
+
+/// Verdict of one front submission.
+pub enum FrontSubmit {
+    /// Admitted; redeem the ticket for the endorsement.
+    Admitted(EndorseTicket),
+    /// Already seen — dropped before any signature verification.
+    Duplicate,
+    /// Shed; retry after `after_ms`. The proposal is handed back.
+    RetryAfter {
+        reason: ShedReason,
+        after_ms: u64,
+        proposal: Box<SignedProposal>,
+    },
+}
+
+/// Admission front for one peer's endorsement pipeline.
+pub struct GatewayFront {
+    config: FrontConfig,
+    admission: Admission,
+    stats: FrontStats,
+}
+
+impl GatewayFront {
+    /// Builds a front.
+    pub fn new(config: FrontConfig) -> Self {
+        GatewayFront {
+            admission: Admission::new(
+                config.client_rate_per_sec,
+                config.client_burst,
+                config.dedup_capacity,
+            ),
+            stats: FrontStats::default(),
+            config,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FrontStats {
+        self.stats
+    }
+
+    /// Admission in front of [`EndorsePipeline::submit`]: dedup → rate
+    /// limit → pipeline intake. A saturated intake becomes a `RetryAfter`
+    /// whose hint grows with the pipeline backlog.
+    pub fn submit(
+        &mut self,
+        pipeline: &EndorsePipeline,
+        signed: SignedProposal,
+        now_ms: u64,
+    ) -> FrontSubmit {
+        self.stats.submitted += 1;
+        let tx_id = signed.proposal.tx_id();
+        let client = signed.proposal.creator.cert_bytes.clone();
+        match self.admission.check(&tx_id, &client, now_ms) {
+            Gate::Duplicate => {
+                self.stats.duplicates += 1;
+                return FrontSubmit::Duplicate;
+            }
+            Gate::Limited { after_ms } => {
+                self.stats.rate_limited += 1;
+                self.stats.retry_after_issued += 1;
+                return FrontSubmit::RetryAfter {
+                    reason: ShedReason::RateLimited,
+                    after_ms,
+                    proposal: Box::new(signed),
+                };
+            }
+            Gate::Pass => {}
+        }
+        match pipeline.submit(signed) {
+            Ok(ticket) => {
+                self.admission.commit(tx_id, &client, now_ms);
+                self.stats.admitted += 1;
+                FrontSubmit::Admitted(ticket)
+            }
+            Err(reject) => {
+                self.stats.saturated += 1;
+                self.stats.retry_after_issued += 1;
+                let base = self.config.retry_after_ms.max(1);
+                let capacity = pipeline.intake_capacity().max(1);
+                let after_ms = base + base * pipeline.backlog() as u64 / capacity as u64;
+                let proposal = Box::new(reject.into_proposal());
+                FrontSubmit::RetryAfter {
+                    reason: ShedReason::Overloaded,
+                    after_ms,
+                    proposal,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The bounded mempool: strict FIFO dispatch, fee-then-age eviction on
+//! overflow only.
+//!
+//! Dispatch order is admission order, full stop — that is what makes the
+//! gateway observationally invisible when no limit trips (the equivalence
+//! battery compares ledger bytes against direct broadcast). Fees matter
+//! only when the pool is full: the victim is the entry with the lowest
+//! fee, oldest first among equals, and a newcomer displaces it only if
+//! its own fee is *strictly* higher (equal-fee newcomers are shed, which
+//! prevents churn and preserves age order).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fabric_primitives::ids::TxId;
+use fabric_primitives::transaction::Envelope;
+
+/// One admitted transaction waiting for dispatch.
+pub(crate) struct PoolEntry {
+    pub envelope: Envelope,
+    pub tx_id: TxId,
+    pub fee: u64,
+}
+
+/// A bounded FIFO queue with a fee index for overflow eviction.
+pub(crate) struct Mempool {
+    capacity: usize,
+    next_seq: u64,
+    /// Admission order; iteration from the front is dispatch order.
+    queue: BTreeMap<u64, PoolEntry>,
+    /// `(fee, seq)` — the first element is the eviction victim.
+    by_fee: BTreeSet<(u64, u64)>,
+}
+
+impl Mempool {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Mempool {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            queue: BTreeMap::new(),
+            by_fee: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The fee of the current eviction victim (lowest fee, oldest).
+    pub(crate) fn victim_fee(&self) -> Option<u64> {
+        self.by_fee.iter().next().map(|&(fee, _)| fee)
+    }
+
+    /// Evicts the victim: lowest fee, oldest among equals.
+    pub(crate) fn evict_victim(&mut self) -> Option<PoolEntry> {
+        let &(fee, seq) = self.by_fee.iter().next()?;
+        self.by_fee.remove(&(fee, seq));
+        self.queue.remove(&seq)
+    }
+
+    /// Appends an entry (caller has resolved overflow already).
+    pub(crate) fn push(&mut self, entry: PoolEntry) {
+        debug_assert!(!self.is_full(), "push into a full mempool");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_fee.insert((entry.fee, seq));
+        self.queue.insert(seq, entry);
+    }
+
+    /// Removes up to `n` entries from the front (dispatch order). The
+    /// caller resolves a live orderer *before* taking, so a dead-orderer
+    /// stall leaves the queue untouched and loses nothing.
+    pub(crate) fn take_front(&mut self, n: usize) -> Vec<PoolEntry> {
+        let seqs: Vec<u64> = self.queue.keys().take(n).copied().collect();
+        seqs.into_iter()
+            .map(|seq| {
+                let entry = self.queue.remove(&seq).expect("key just listed");
+                self.by_fee.remove(&(entry.fee, seq));
+                entry
+            })
+            .collect()
+    }
+
+    /// Queued transaction ids in dispatch order (test observability).
+    pub(crate) fn tx_ids(&self) -> Vec<TxId> {
+        self.queue.values().map(|e| e.tx_id).collect()
+    }
+}

@@ -260,6 +260,16 @@ impl OrderingCluster {
         verdicts
     }
 
+    /// The first live OSN at or after `preferred` (wrapping), or `None`
+    /// when every node is down. Lets a caller keep a sticky entry point
+    /// and fail over deterministically without the round-robin state.
+    pub fn live_entry(&self, preferred: usize) -> Option<usize> {
+        let n = self.nodes.len();
+        (0..n)
+            .map(|i| (preferred + i) % n)
+            .find(|&i| !self.down.contains(&(i as u64)))
+    }
+
     fn next_live_entry(&mut self) -> usize {
         for _ in 0..self.nodes.len() {
             let entry = self.next_entry % self.nodes.len();

@@ -128,6 +128,10 @@ pub struct EndorseStats {
     pub sign_batches: u64,
     /// The largest single signing drain.
     pub max_batch: u64,
+    /// Proposals refused because the intake bound was full.
+    pub rejected_saturated: u64,
+    /// Proposals refused because the client was over its in-flight cap.
+    pub rejected_client: u64,
 }
 
 /// A pending endorsement: redeem with [`EndorseTicket::wait`].
@@ -173,6 +177,8 @@ struct Shared {
     failed: AtomicU64,
     sign_batches: AtomicU64,
     max_batch: AtomicU64,
+    rejected_saturated: AtomicU64,
+    rejected_client: AtomicU64,
 }
 
 impl Shared {
@@ -220,6 +226,8 @@ impl EndorsePipeline {
             failed: AtomicU64::new(0),
             sign_batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            rejected_saturated: AtomicU64::new(0),
+            rejected_client: AtomicU64::new(0),
         });
         let width = if opts.workers == 0 {
             std::thread::available_parallelism()
@@ -319,6 +327,7 @@ impl EndorsePipeline {
         let mut pending = self.shared.pending.load(Ordering::SeqCst);
         loop {
             if pending >= self.opts.intake_capacity {
+                self.shared.rejected_saturated.fetch_add(1, Ordering::SeqCst);
                 return Err(EndorseReject::Saturated(Box::new(signed)));
             }
             match self.shared.pending.compare_exchange(
@@ -339,6 +348,7 @@ impl EndorsePipeline {
             if *count >= self.opts.client_max_inflight {
                 drop(inflight);
                 self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                self.shared.rejected_client.fetch_add(1, Ordering::SeqCst);
                 return Err(EndorseReject::ClientSaturated(Box::new(signed)));
             }
             *count += 1;
@@ -391,12 +401,20 @@ impl EndorsePipeline {
             failed: self.shared.failed.load(Ordering::SeqCst),
             sign_batches: self.shared.sign_batches.load(Ordering::SeqCst),
             max_batch: self.shared.max_batch.load(Ordering::SeqCst),
+            rejected_saturated: self.shared.rejected_saturated.load(Ordering::SeqCst),
+            rejected_client: self.shared.rejected_client.load(Ordering::SeqCst),
         }
     }
 
     /// Proposals admitted but not yet picked up by a worker.
     pub fn backlog(&self) -> usize {
         self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// The configured intake bound (admission fronts scale retry hints
+    /// off `backlog / intake_capacity`).
+    pub fn intake_capacity(&self) -> usize {
+        self.opts.intake_capacity
     }
 
     /// Drains queued proposals, then stops and joins every stage. Tickets

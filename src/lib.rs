@@ -28,6 +28,7 @@
 //! | [`statesync`] | `fabric-statesync` | Sec. 4.3 state transfer, 4.2 log compaction anchor |
 //! | [`chaincode`] | `fabric-chaincode` | Sec. 4.5, 4.6 |
 //! | [`peer`] | `fabric-peer` | Sec. 3.2, 3.4 endorser + committer |
+//! | [`gateway`] | `fabric-gateway` | Sec. 3.2 front door: admission, mempool, backpressure |
 //! | [`client`] | `fabric-client` | Sec. 3.2 client SDK |
 //! | [`fabcoin`] | `fabric-fabcoin` | Sec. 5.1 |
 //! | [`simnet`] | `fabric-simnet` | Sec. 5.2 WAN experiments |
@@ -36,6 +37,7 @@ pub use fabric_chaincode as chaincode;
 pub use fabric_client as client;
 pub use fabric_crypto as crypto;
 pub use fabric_fabcoin as fabcoin;
+pub use fabric_gateway as gateway;
 pub use fabric_gossip as gossip;
 pub use fabric_kvstore as kvstore;
 pub use fabric_ledger as ledger;

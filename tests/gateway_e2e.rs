@@ -1,0 +1,97 @@
+//! End-to-end gateway smoke test: the closed-loop Fabcoin workload runs
+//! client → endorse front → endorsement pipeline → ordering gateway →
+//! ordering → deliver-mux commit, with deliver credits feeding back into
+//! admission.
+//!
+//! The scale knob is `GATEWAY_E2E_ACCOUNTS` (account-space size; default
+//! 10 000 keeps this a smoke test, the standing bench runs a million —
+//! `GATEWAY_E2E_ACCOUNTS=1000000 cargo test --test gateway_e2e --release`).
+//!
+//! The headline assertion is **coin conservation**: after the mix settles,
+//! the state database holds exactly the minted value — transfers moved
+//! coins, the gateway path neither lost nor duplicated any, and every
+//! in-flight reservation resolved.
+
+use fabric::fabcoin::{GatewayWorkload, TransferOutcome, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn account_space() -> u64 {
+    std::env::var("GATEWAY_E2E_ACCOUNTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+#[test]
+fn closed_loop_mix_conserves_coins() {
+    let funded = 64u64;
+    let coin_amount = 100u64;
+    let config = WorkloadConfig {
+        accounts: account_space(),
+        funded,
+        coin_amount,
+        ..WorkloadConfig::default()
+    };
+    let mut workload = GatewayWorkload::new(config);
+    let minted = funded * coin_amount;
+    assert_eq!(workload.total_on_ledger(), minted, "funding committed");
+
+    // Transfer-heavy mix with a sprinkle of balance queries, zipfian on
+    // both ends, random fees.
+    let mut rng = StdRng::seed_from_u64(0xfab_c01);
+    let mut submitted = 0u64;
+    for i in 0..240 {
+        if i % 8 == 7 {
+            // Queries go through the endorse front but not ordering.
+            let _ = workload.query_balance(rng.gen::<f64>());
+        } else {
+            let fee = rng.gen_range(1u64..100);
+            match workload.transfer(rng.gen::<f64>(), rng.gen::<f64>(), fee) {
+                TransferOutcome::Submitted => submitted += 1,
+                // Sheds hand the coin back; NoCoin means everything is in
+                // flight. Both are legitimate under backpressure.
+                TransferOutcome::ShedEndorse
+                | TransferOutcome::ShedOrder
+                | TransferOutcome::NoCoin => {}
+            }
+        }
+        workload.clock.advance(5);
+        workload.pump();
+        if i % 16 == 0 {
+            workload.collect_events();
+        }
+    }
+    assert!(
+        workload.settle(10_000),
+        "mempool and in-flight set drain completely"
+    );
+
+    // Conservation: the mint total is all there is, wherever it moved.
+    assert_eq!(workload.total_on_ledger(), minted, "no value lost or minted");
+    assert_eq!(workload.wallet_total(), minted, "wallet view agrees");
+    assert_eq!(workload.inflight_len(), 0);
+    assert_eq!(workload.gateway.mempool_len(), 0);
+
+    let stats = workload.stats().clone();
+    assert!(submitted > 0, "the mix actually submitted transfers");
+    assert_eq!(
+        stats.committed + stats.invalidated,
+        submitted,
+        "every admitted transfer resolved to a commit verdict"
+    );
+    assert!(
+        stats.committed >= submitted / 2,
+        "the closed loop commits most transfers ({}/{submitted})",
+        stats.committed
+    );
+    assert_eq!(stats.latencies_ms.len(), stats.committed as usize);
+
+    // The gateway counters agree with the workload's view.
+    let gstats = workload.gateway.stats();
+    assert_eq!(gstats.dispatched, gstats.admitted, "everything drained");
+    assert_eq!(gstats.broadcast_rejected, 0);
+    let fstats = workload.front.stats();
+    assert!(fstats.admitted >= submitted + stats.queries);
+    workload.shutdown();
+}
